@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+The expensive Problem-1 optimization grid is computed once per machine
+and cached in ``.bench_cache/matrix.json`` (see
+:class:`repro.bench.harness.ExperimentMatrix`); the per-table benchmark
+modules read from that cache and write their rendered artifacts into
+``results/``.
+
+Scope control: set ``REPRO_BENCH_DATASETS=d1,d2`` for a quick pass over a
+subset of the datasets; the default covers all ten.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import ExperimentMatrix
+
+
+@pytest.fixture(scope="session")
+def matrix() -> ExperimentMatrix:
+    """The fully-populated experiment matrix (computed or cached)."""
+    instance = ExperimentMatrix()
+    instance.run_all(verbose=True)
+    return instance
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    path = Path("results")
+    path.mkdir(exist_ok=True)
+    return path
+
+
+def write_artifact(results_dir: Path, name: str, content: str) -> None:
+    """Persist one rendered table/figure and echo a pointer."""
+    path = results_dir / name
+    path.write_text(content + "\n")
+    print(f"\n[artifact] {path}")

@@ -1,0 +1,67 @@
+"""Ablation: label-free auto-configuration vs static defaults.
+
+Implements and measures the paper's Conclusion-1 future work: an
+automatic, data-driven, label-free configurator.  The claim encoded here:
+on most datasets, the auto-configured kNN-Join dominates the static DkNN
+defaults on precision without giving up the recall level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import evaluate_candidates
+from repro.datasets.registry import load_dataset
+from repro.tuning.auto import AutoKNNConfigurator
+from repro.tuning.baselines import evaluate_baseline
+
+from conftest import write_artifact
+
+DATASETS = ("d1", "d2", "d3", "d4")
+
+
+@pytest.fixture(scope="module")
+def comparisons():
+    rows = []
+    for name in DATASETS:
+        dataset = load_dataset(name)
+        join = AutoKNNConfigurator().configure_for(dataset)
+        candidates = join.candidates(dataset.left, dataset.right)
+        auto = evaluate_candidates(
+            candidates, dataset.groundtruth,
+            len(dataset.left), len(dataset.right),
+        )
+        baseline = evaluate_baseline("DkNN", dataset, repetitions=1)
+        rows.append((name, join, auto, baseline))
+    return rows
+
+
+def test_render_and_benchmark(comparisons, results_dir, benchmark):
+    lines = ["auto-configuration vs DkNN defaults (kNN-Join)"]
+    for name, join, auto, baseline in comparisons:
+        lines.append(
+            f"{name}: auto(k={join.k},{join.model.code}) "
+            f"PC={auto.pc:.3f} PQ={auto.pq:.4f} | "
+            f"DkNN PC={baseline.pc:.3f} PQ={baseline.pq:.4f}"
+        )
+    write_artifact(results_dir, "ablation_autoconfig.txt", "\n".join(lines))
+    dataset = load_dataset("d1")
+    benchmark.pedantic(
+        AutoKNNConfigurator().configure_for, args=(dataset,), rounds=1,
+        iterations=1,
+    )
+
+
+def test_auto_config_keeps_recall(comparisons):
+    for name, __, auto, __base in comparisons:
+        assert auto.pc >= 0.75, name
+
+
+def test_auto_config_beats_static_defaults_on_precision(comparisons):
+    wins = sum(1 for __, __j, auto, base in comparisons if auto.pq >= base.pq)
+    assert wins >= len(comparisons) - 1
+
+
+def test_auto_k_stays_small(comparisons):
+    for __, join, __a, __b in comparisons:
+        assert 1 <= join.k <= 20

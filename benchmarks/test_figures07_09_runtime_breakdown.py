@@ -1,0 +1,84 @@
+"""Figures 7-9 — run-time decomposition of every filtering method.
+
+Blocking workflows: build / purge / filter / clean; NN methods:
+preprocess / index / query.  The assertions check the appendix's
+structural findings: indexing is the cheapest NN phase, block cleaning is
+cheap, and DeepBlocker's preprocessing (training) dominates its run-time.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import schema_settings
+from repro.bench.runtime_breakdown import breakdown_from_matrix
+from repro.datasets.registry import load_dataset
+from repro.sparse.knn_join import KNNJoin
+
+from conftest import write_artifact
+
+BLOCKING = ("SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW")
+SPARSE = ("EJ", "kNNJ", "DkNN")
+DENSE = ("MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB", "DDB")
+
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def breakdowns(matrix):
+    """Every method run once per dataset/setting — computed one time."""
+    collected = {}
+    for dataset in matrix.datasets:
+        for setting in schema_settings(dataset):
+            rows = breakdown_from_matrix(
+                matrix, BLOCKING + SPARSE + DENSE, dataset, setting
+            )
+            collected[(dataset, setting)] = rows
+    return collected
+
+
+def test_figures_render(matrix, breakdowns, results_dir, benchmark):
+    lines = ["Figures 7-9 - run-time breakdown per method"]
+    for (dataset, setting), rows in sorted(breakdowns.items()):
+        for row in rows:
+            lines.append(row.render())
+    write_artifact(results_dir, "figures07_09.txt", "\n".join(lines))
+    dataset = load_dataset(matrix.datasets[0])
+    benchmark(KNNJoin(k=2, model="C3G").candidates, dataset.left, dataset.right)
+    assert len(lines) > 1
+
+
+def test_nn_indexing_is_cheapest_phase(breakdowns):
+    """Indexing accounts for the smallest share of sparse NN run-time."""
+    index_smaller = total = 0
+    for rows in breakdowns.values():
+        for row in rows:
+            if row.method in SPARSE and row.total > 0:
+                total += 1
+                index_smaller += row.fraction("index") <= max(
+                    row.fraction("preprocess"), row.fraction("query")
+                )
+    assert index_smaller >= 0.9 * total
+
+
+def test_deepblocker_dominated_by_training(breakdowns):
+    """DeepBlocker's preprocess phase (embedding + training) dominates."""
+    dominated = total = 0
+    for rows in breakdowns.values():
+        for row in rows:
+            if row.method in ("DB", "DDB") and row.total > 0:
+                total += 1
+                dominated += row.fraction("preprocess") > 0.5
+    assert total > 0
+    assert dominated >= 0.8 * total
+
+
+def test_block_cleaning_phases_cheap(breakdowns):
+    """Block Purging and Filtering are tiny fractions of workflow RT."""
+    cheap = total = 0
+    for rows in breakdowns.values():
+        for row in rows:
+            if row.method in BLOCKING and row.total > 0:
+                purge_filter = row.fraction("purge") + row.fraction("filter")
+                total += 1
+                cheap += purge_filter < 0.5
+    assert cheap >= 0.9 * total

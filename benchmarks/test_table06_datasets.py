@@ -1,0 +1,28 @@
+"""Table VI — technical characteristics of the benchmark datasets.
+
+Benchmarks dataset generation and renders the table of sizes, duplicate
+counts, Cartesian products and best attributes.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import table06_datasets
+from repro.datasets.generator import generate
+from repro.datasets.registry import DATASET_SPECS
+
+from conftest import write_artifact
+
+
+def test_table06_render(matrix, results_dir, benchmark):
+    content = table06_datasets(matrix.datasets)
+    benchmark(generate, DATASET_SPECS["d1"])
+    write_artifact(results_dir, "table06.txt", content)
+    assert "Best attribute" in content
+
+
+def test_generation_scales_with_size(benchmark):
+    """Generating the largest dataset stays fast (well under a minute)."""
+    dataset = benchmark.pedantic(
+        generate, args=(DATASET_SPECS["d4"],), rounds=1, iterations=1
+    )
+    assert len(dataset.left) == DATASET_SPECS["d4"].size1

@@ -1,0 +1,152 @@
+"""Table VII — the paper's headline result: PC, PQ and RT of every method.
+
+Renders the three sub-tables from the experiment matrix and benchmarks
+one representative tuned filter per family.  The assertions encode the
+paper's *shape* claims rather than absolute numbers:
+
+1. every fine-tuned method reaches the recall target in (almost) all
+   cells, while baselines miss it somewhere;
+2. the best syntactic method beats the best semantic method on precision
+   in most datasets (Conclusion 4);
+3. LSH variants have the lowest precision among fine-tuned methods
+   (Conclusion 3);
+4. blocking workflows are the fastest family (Section VI).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.bench.tables import table07_effectiveness
+from repro.datasets.registry import load_dataset
+from repro.tuning.blocking import BlockingWorkflowTuner
+from repro.tuning.sparse import KNNJoinTuner
+
+from conftest import write_artifact
+
+SYNTACTIC = ("SBW", "QBW", "EQBW", "SABW", "ESABW", "EJ", "kNNJ")
+SEMANTIC = ("CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB")
+LSH = ("MH-LSH", "CP-LSH", "HP-LSH")
+FINE_TUNED = SYNTACTIC + SEMANTIC + ("MH-LSH",)
+BASELINES = ("PBW", "DBW", "DkNN", "DDB")
+
+
+def _cells(matrix, methods):
+    for method in methods:
+        for dataset in matrix.datasets:
+            for setting in ("a", "b"):
+                cell = matrix.get(method, dataset, setting)
+                if cell is not None:
+                    yield cell
+
+
+def test_table07_render(matrix, results_dir, benchmark):
+    content = table07_effectiveness(matrix)
+    write_artifact(results_dir, "table07.txt", content)
+    # Benchmark one tuned sparse filter end-to-end on the smallest dataset.
+    dataset = load_dataset(matrix.datasets[0])
+    cell = matrix.get("kNNJ", matrix.datasets[0], "a")
+    filter_ = KNNJoinTuner().build_filter(cell.params)
+    benchmark(filter_.candidates, dataset.left, dataset.right)
+    assert "Table VII(a)" in content
+
+
+def test_fine_tuned_methods_reach_recall_target(matrix):
+    """Claim 1: fine-tuning achieves PC >= 0.9 in the vast majority of
+    cells.  The paper reaches it everywhere; our synthetic schema-based
+    settings are noisier, so token-identity blocking hits a recall
+    ceiling slightly below the target on a few of them (documented in
+    EXPERIMENTS.md) — hence the 85% bound."""
+    cells = list(_cells(matrix, FINE_TUNED))
+    feasible = sum(1 for cell in cells if cell.feasible)
+    assert feasible / len(cells) >= 0.85
+
+
+def test_baselines_miss_recall_somewhere(matrix):
+    """Claim 1b: at least one baseline misses the target somewhere."""
+    cells = list(_cells(matrix, BASELINES))
+    assert any(not cell.feasible for cell in cells)
+
+
+def test_fine_tuning_beats_baselines_on_precision(matrix):
+    """Tuned SBW dominates PBW; tuned kNNJ dominates DkNN (where both
+    reach the recall target)."""
+    for tuned_name, baseline_name in (("SBW", "PBW"), ("kNNJ", "DkNN")):
+        wins = ties_or_losses = 0
+        for dataset in matrix.datasets:
+            for setting in ("a", "b"):
+                tuned = matrix.get(tuned_name, dataset, setting)
+                baseline = matrix.get(baseline_name, dataset, setting)
+                if not tuned or not baseline or not baseline.feasible:
+                    continue
+                if tuned.pq > baseline.pq:
+                    wins += 1
+                else:
+                    ties_or_losses += 1
+        assert wins > ties_or_losses
+
+
+def test_syntactic_beats_semantic(matrix):
+    """Claim 2 (Conclusion 4): per cell, the best syntactic method has
+    higher precision than the best semantic method in most cells."""
+    wins = losses = 0
+    for dataset in matrix.datasets:
+        for setting in ("a", "b"):
+            syntactic = [
+                c.pq
+                for m in SYNTACTIC
+                if (c := matrix.get(m, dataset, setting)) and c.feasible
+            ]
+            semantic = [
+                c.pq
+                for m in SEMANTIC
+                if (c := matrix.get(m, dataset, setting)) and c.feasible
+            ]
+            if not syntactic or not semantic:
+                continue
+            if max(syntactic) >= max(semantic):
+                wins += 1
+            else:
+                losses += 1
+    assert wins > 2 * losses
+
+
+def test_lsh_has_lowest_precision(matrix):
+    """Claim 3: similarity-threshold LSH trails the cardinality-based
+    methods on precision, on average."""
+    def mean_pq(methods):
+        values = [c.pq for c in _cells(matrix, methods) if c.feasible]
+        return statistics.mean(values) if values else 0.0
+
+    assert mean_pq(LSH) < mean_pq(("kNNJ", "FAISS", "SCANN"))
+
+
+def test_blocking_workflows_fastest_family(matrix):
+    """Claim 4: the median blocking-workflow run-time beats the median
+    dense NN run-time."""
+    def median_rt(methods):
+        values = [c.runtime for c in _cells(matrix, methods)]
+        return statistics.median(values) if values else float("inf")
+
+    assert median_rt(("SBW", "QBW", "PBW")) < median_rt(SEMANTIC)
+
+
+def test_deepblocker_slowest_dense_method(matrix):
+    """DeepBlocker pays its training cost: slower than FAISS everywhere."""
+    slower = total = 0
+    for dataset in matrix.datasets:
+        for setting in ("a", "b"):
+            db = matrix.get("DB", dataset, setting)
+            faiss = matrix.get("FAISS", dataset, setting)
+            if db and faiss:
+                total += 1
+                slower += db.runtime > faiss.runtime
+    assert slower >= 0.8 * total
+
+
+def test_benchmark_tuned_blocking_workflow(matrix, benchmark):
+    """Throughput of the tuned SBW workflow on the smallest dataset."""
+    dataset = load_dataset(matrix.datasets[0])
+    cell = matrix.get("SBW", matrix.datasets[0], "a")
+    workflow = BlockingWorkflowTuner("SBW").build_workflow(cell.params)
+    benchmark(workflow.candidates, dataset.left, dataset.right)

@@ -1,0 +1,54 @@
+"""Table VIII — the winning blocking-workflow configurations.
+
+Renders the per-dataset best configurations and benchmarks the holistic
+grid search itself on the smallest dataset.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import table08_blocking_configs
+from repro.datasets.registry import load_dataset
+from repro.tuning.blocking import BlockingWorkflowTuner
+
+from conftest import write_artifact
+
+WORKFLOWS = ("SBW", "QBW", "EQBW", "SABW", "ESABW")
+
+
+def test_table08_render(matrix, results_dir, benchmark):
+    content = table08_blocking_configs(matrix)
+    dataset = load_dataset(matrix.datasets[0])
+    benchmark.pedantic(
+        BlockingWorkflowTuner("SBW").tune, args=(dataset,), rounds=1,
+        iterations=1,
+    )
+    write_artifact(results_dir, "table08.txt", content)
+    assert "SBW" in content
+
+
+def test_winning_configs_use_metablocking_mostly(matrix):
+    """As in the paper's Table VIII, the winning comparison cleaner is a
+    Meta-blocking configuration (not plain CP) in most cells."""
+    metablocking = plain = 0
+    for workflow in WORKFLOWS:
+        for dataset in matrix.datasets:
+            for setting in ("a", "b"):
+                cell = matrix.get(workflow, dataset, setting)
+                if cell is None:
+                    continue
+                if cell.params.get("cleaner", "CP") == "CP":
+                    plain += 1
+                else:
+                    metablocking += 1
+    assert metablocking > plain
+
+
+def test_proactive_workflows_skip_block_cleaning(matrix):
+    """SABW/ESABW are not combined with Block Purging/Filtering."""
+    for workflow in ("SABW", "ESABW"):
+        for dataset in matrix.datasets:
+            cell = matrix.get(workflow, dataset, "a")
+            if cell is None:
+                continue
+            assert not cell.params.get("purging", False)
+            assert float(cell.params.get("ratio", 1.0)) == 1.0

@@ -1,0 +1,54 @@
+"""Table X — the winning dense-NN configurations.
+
+Renders the per-dataset winners and checks the paper's structural
+observations about cardinality-based dense methods.
+"""
+
+from __future__ import annotations
+
+from repro.bench.tables import table10_dense_configs
+from repro.datasets.registry import load_dataset
+from repro.tuning.dense import KNNSearchTuner
+
+from conftest import write_artifact
+
+
+def test_table10_render(matrix, results_dir, benchmark):
+    content = table10_dense_configs(matrix)
+    dataset = load_dataset(matrix.datasets[0])
+    benchmark.pedantic(
+        KNNSearchTuner("faiss").tune, args=(dataset,), rounds=1, iterations=1
+    )
+    write_artifact(results_dir, "table10.txt", content)
+    assert "FAISS" in content
+
+
+def test_faiss_and_scann_pick_similar_cardinalities(matrix):
+    """The two exhaustive searchers behave near-identically (Section VI)."""
+    agreements = comparisons = 0
+    for dataset in matrix.datasets:
+        for setting in ("a", "b"):
+            faiss = matrix.get("FAISS", dataset, setting)
+            scann = matrix.get("SCANN", dataset, setting)
+            if faiss is None or scann is None:
+                continue
+            comparisons += 1
+            k_faiss, k_scann = int(faiss.params["k"]), int(scann.params["k"])
+            if max(k_faiss, k_scann) <= 2 * max(1, min(k_faiss, k_scann)):
+                agreements += 1
+    assert agreements >= 0.7 * comparisons
+
+
+def test_semantic_kNN_needs_larger_k_than_syntactic(matrix):
+    """Conclusion 4's mechanism: embedding methods need a higher
+    cardinality threshold than the syntactic kNN-Join."""
+    larger = total = 0
+    for dataset in matrix.datasets:
+        for setting in ("a", "b"):
+            faiss = matrix.get("FAISS", dataset, setting)
+            knnj = matrix.get("kNNJ", dataset, setting)
+            if not faiss or not knnj or not (faiss.feasible and knnj.feasible):
+                continue
+            total += 1
+            larger += int(faiss.params["k"]) >= int(knnj.params["k"])
+    assert larger >= 0.7 * total

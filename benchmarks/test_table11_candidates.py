@@ -1,0 +1,69 @@
+"""Table XI — the number of candidate pairs per method and dataset.
+
+Encodes the paper's Conclusion 3: similarity-threshold methods reach high
+recall only through far larger candidate sets than cardinality-based
+methods, whose |C| grows linearly with the query side.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.bench.tables import table11_candidates
+from repro.blocking.metablocking import PairGraph
+from repro.blocking.building import StandardBlocking
+from repro.datasets.registry import load_dataset
+
+from conftest import write_artifact
+
+
+def test_table11_render(matrix, results_dir, benchmark):
+    content = table11_candidates(matrix)
+    dataset = load_dataset(matrix.datasets[0])
+    blocks = StandardBlocking().build(dataset.left, dataset.right)
+    benchmark(PairGraph, blocks)
+    write_artifact(results_dir, "table11.txt", content)
+    assert "Table XI" in content
+
+
+def test_lsh_produces_largest_candidate_sets(matrix):
+    """Median |C| of the LSH family exceeds the cardinality-based one."""
+    def median_candidates(methods):
+        values = [
+            cell.candidates
+            for method in methods
+            for dataset in matrix.datasets
+            for setting in ("a", "b")
+            if (cell := matrix.get(method, dataset, setting)) is not None
+        ]
+        return statistics.median(values) if values else 0
+
+    lsh = median_candidates(("MH-LSH", "CP-LSH", "HP-LSH"))
+    cardinality = median_candidates(("kNNJ", "FAISS", "SCANN"))
+    assert lsh > cardinality
+
+
+def test_cardinality_methods_linear_in_query_side(matrix):
+    """|C| = k * (query side) exactly for the exhaustive kNN searchers."""
+    for dataset_name in matrix.datasets:
+        cell = matrix.get("FAISS", dataset_name, "a")
+        if cell is None:
+            continue
+        dataset = load_dataset(dataset_name)
+        k = int(cell.params["k"])
+        queries = (
+            len(dataset.left) if cell.params["reverse"] else len(dataset.right)
+        )
+        indexed = (
+            len(dataset.right) if cell.params["reverse"] else len(dataset.left)
+        )
+        assert cell.candidates == min(k, indexed) * queries
+
+
+def test_pbw_candidates_exceed_tuned_sbw(matrix):
+    """Without tuning, the parameter-free workflow floods verification."""
+    for dataset in matrix.datasets:
+        pbw = matrix.get("PBW", dataset, "a")
+        sbw = matrix.get("SBW", dataset, "a")
+        if pbw and sbw:
+            assert pbw.candidates >= sbw.candidates

@@ -1,0 +1,74 @@
+"""Schema-based vs schema-agnostic linkage of bibliographic records.
+
+Scenario: link a curated bibliography (DBLP-like) against a noisy,
+much larger scraped corpus (Scholar-like) — the d9 dataset.  We compare
+the two schema settings the paper studies:
+
+* schema-based — match only on the most informative attribute (title),
+  selected automatically by coverage x distinctiveness;
+* schema-agnostic — match on all attribute values concatenated.
+
+Run:  python examples/bibliographic_linkage.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.metrics import evaluate_candidates
+from repro.datasets import attribute_stats, load_dataset, select_best_attribute
+from repro.datasets.stats import character_length, vocabulary_size
+from repro.sparse import KNNJoin
+
+
+def main() -> None:
+    dataset = load_dataset("d9")
+    print(
+        f"Dataset {dataset.name} ({dataset.spec.description}): "
+        f"|E1|={len(dataset.left)}, |E2|={len(dataset.right)}\n"
+    )
+
+    print("Attribute statistics (coverage x distinctiveness):")
+    for stats in attribute_stats(dataset):
+        print(
+            f"  {stats.attribute:10s} coverage={stats.coverage:.2f} "
+            f"distinctiveness={stats.distinctiveness:.2f} "
+            f"score={stats.score:.2f}"
+        )
+    best = select_best_attribute(dataset)
+    print(f"\nSelected best attribute: {best!r}\n")
+
+    print("Text volume per setting:")
+    for label, attribute in (("schema-agnostic", None), ("schema-based", best)):
+        print(
+            f"  {label:16s} vocabulary={vocabulary_size(dataset, attribute):6d} "
+            f"characters={character_length(dataset, attribute):8d}"
+        )
+
+    print("\nkNN-Join (k=2, C3G, cosine) under both settings:")
+    join = KNNJoin(k=2, model="C3G", measure="cosine", reverse=True)
+    for label, attribute in (("schema-agnostic", None), ("schema-based", best)):
+        start = time.perf_counter()
+        candidates = join.candidates(dataset.left, dataset.right, attribute)
+        elapsed = time.perf_counter() - start
+        evaluation = evaluate_candidates(
+            candidates,
+            dataset.groundtruth,
+            len(dataset.left),
+            len(dataset.right),
+        )
+        print(
+            f"  {label:16s} PC={evaluation.pc:.3f} PQ={evaluation.pq:.4f} "
+            f"|C|={evaluation.candidates:6d} RT={elapsed * 1000:6.0f}ms"
+        )
+
+    print(
+        "\nThe schema-based setting is faster (it processes a third of the"
+        "\ntext) but is only viable because the title attribute has high"
+        "\ngroundtruth coverage here; on datasets with misplaced values"
+        "\n(d5-d7, d10) only the schema-agnostic setting reaches high recall."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Mini Table VII: fine-tune every filter family on one dataset.
+
+Runs the full Problem-1 configuration optimization for one representative
+method per family plus every baseline on the d1 dataset, printing a small
+version of the paper's headline table.
+
+Run:  python examples/compare_filters.py [dataset]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datasets import DATASET_NAMES, load_dataset
+from repro.tuning import BASELINES, evaluate_baseline, tune_method
+from repro.tuning.dense import EmbeddingCache
+
+METHODS = ("SBW", "QBW", "EJ", "kNNJ", "MH-LSH", "FAISS", "DB")
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "d1"
+    if name not in DATASET_NAMES:
+        raise SystemExit(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    dataset = load_dataset(name)
+    print(
+        f"Dataset {dataset.name}: |E1|={len(dataset.left)}, "
+        f"|E2|={len(dataset.right)}, duplicates={len(dataset.groundtruth)}\n"
+    )
+    print(f"{'method':8s} {'PC':>6s} {'PQ':>8s} {'|C|':>8s} {'RT':>8s}  best configuration")
+    cache = EmbeddingCache()
+
+    for method in METHODS:
+        result = tune_method(method, dataset, cache=cache)
+        marker = " " if result.feasible else "*"
+        print(
+            f"{method:8s} {result.pc:5.3f}{marker} {result.pq:8.4f} "
+            f"{result.candidates:8d} {result.runtime * 1000:6.0f}ms  "
+            f"{result.describe_params()}"
+        )
+
+    print("\nBaselines (default parameters):")
+    for baseline in BASELINES:
+        result = evaluate_baseline(baseline, dataset, repetitions=2)
+        marker = " " if result.feasible else "*"
+        print(
+            f"{result.method:8s} {result.pc:5.3f}{marker} {result.pq:8.4f} "
+            f"{result.candidates:8d} {result.runtime * 1000:6.0f}ms"
+        )
+    print("\n* marks configurations that missed the recall target (PC >= 0.9).")
+
+
+if __name__ == "__main__":
+    main()

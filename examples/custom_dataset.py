@@ -1,0 +1,85 @@
+"""Bring your own data: CSV round-trip and filtering a custom dataset.
+
+Shows the complete workflow a downstream user follows with their own
+records: build entity profiles, persist them in the benchmark's CSV
+layout, load them back, pick an attribute, filter, and evaluate against a
+known groundtruth.
+
+Run:  python examples/custom_dataset.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core import EntityCollection, EntityProfile, GroundTruth
+from repro.core.metrics import evaluate_candidates
+from repro.datasets.io import (
+    read_collection,
+    read_groundtruth,
+    write_collection,
+    write_groundtruth,
+)
+from repro.sparse import EpsilonJoin
+
+
+def build_catalogs():
+    """Two tiny, hand-written product catalogs with two true matches."""
+    store_a = EntityCollection(
+        [
+            EntityProfile("a1", {"title": "acme turbo kettle 2000", "price": "39.90"}),
+            EntityProfile("a2", {"title": "bolt wireless mouse", "price": "19.00"}),
+            EntityProfile("a3", {"title": "crane desk lamp led", "price": "24.50"}),
+        ],
+        name="store-a",
+    )
+    store_b = EntityCollection(
+        [
+            EntityProfile("b1", {"title": "acme turbo kettle 2000 series"}),
+            EntityProfile("b2", {"title": "bolt wirless mouse"}),  # typo!
+            EntityProfile("b3", {"title": "delta espresso machine"}),
+        ],
+        name="store-b",
+    )
+    groundtruth = GroundTruth.from_uids(
+        [("a1", "b1"), ("a2", "b2")], store_a, store_b
+    )
+    return store_a, store_b, groundtruth
+
+
+def main() -> None:
+    store_a, store_b, groundtruth = build_catalogs()
+
+    with tempfile.TemporaryDirectory() as workdir:
+        base = Path(workdir)
+        write_collection(store_a, base / "store_a.csv")
+        write_collection(store_b, base / "store_b.csv")
+        write_groundtruth(groundtruth, store_a, store_b, base / "matches.csv")
+        print(f"Wrote CSVs to {base}\n")
+
+        left = read_collection(base / "store_a.csv")
+        right = read_collection(base / "store_b.csv")
+        gt = read_groundtruth(base / "matches.csv", left, right)
+
+        join = EpsilonJoin(threshold=0.4, model="C3G", measure="jaccard")
+        candidates = join.candidates(left, right, attribute="title")
+        evaluation = evaluate_candidates(candidates, gt, len(left), len(right))
+
+        print("Candidates found:")
+        for left_id, right_id in sorted(candidates):
+            print(f"  {left[left_id].value('title')!r:40s} <-> "
+                  f"{right[right_id].value('title')!r}")
+        print(
+            f"\nPC={evaluation.pc:.2f} PQ={evaluation.pq:.2f} "
+            f"({evaluation.duplicates_found}/{len(gt)} duplicates, "
+            f"{evaluation.candidates} candidates)"
+        )
+        print(
+            "\nThe character-3-gram join survives the 'wirless' typo that"
+            "\nwhole-token matching would miss."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Dirty ER: deduplicating a single collection with duplicate clusters.
+
+The benchmark evaluates Clean-Clean ER, but every filter transfers to
+deduplication through the self-join adapter (Section III's second task):
+the collection plays both roles, self-pairs are dropped, and each
+unordered pair is counted once.
+
+Run:  python examples/deduplication.py
+"""
+
+from __future__ import annotations
+
+from repro.blocking import BlockingWorkflow, MetaBlocking, StandardBlocking
+from repro.datasets.noise import NoiseProfile
+from repro.dirty import (
+    DirtyDatasetSpec,
+    dirty_candidates,
+    evaluate_dirty,
+    generate_dirty,
+)
+from repro.sparse import KNNJoin
+
+
+def main() -> None:
+    spec = DirtyDatasetSpec(
+        name="crm-contacts",
+        domain="restaurant",
+        size=300,
+        cluster_sizes=(3, 3, 2, 2, 2, 2, 2, 2),
+        seed=33,
+        noise=NoiseProfile(
+            typo_rate=0.12, token_drop_rate=0.1, abbreviation_rate=0.05
+        ),
+        misplace_target="address",
+    )
+    dataset = generate_dirty(spec)
+    print(
+        f"Dirty collection: {len(dataset.collection)} records, "
+        f"{len(dataset.clusters)} duplicate clusters, "
+        f"{len(dataset.groundtruth)} duplicate pairs\n"
+    )
+
+    filters = {
+        "blocking + meta-blocking": BlockingWorkflow(
+            StandardBlocking(), cleaner=MetaBlocking("ARCS", "CNP")
+        ),
+        # k=3: in a self-join every record's best neighbour is itself,
+        # so the cardinality budget needs one extra slot.
+        "kNN-Join (k=3)": KNNJoin(k=3, model="C3G"),
+    }
+    for label, filter_ in filters.items():
+        candidates = dirty_candidates(filter_, dataset.collection)
+        evaluation = evaluate_dirty(
+            candidates, dataset.groundtruth, len(dataset.collection)
+        )
+        print(
+            f"{label:28s} PC={evaluation.pc:.3f} PQ={evaluation.pq:.4f} "
+            f"|C|={evaluation.candidates}"
+        )
+
+    print("\nDetected clusters (blocking filter, exact duplicates only):")
+    workflow = BlockingWorkflow(
+        StandardBlocking(), cleaner=MetaBlocking("ARCS", "RCNP")
+    )
+    candidates = dirty_candidates(workflow, dataset.collection)
+    hits = [p for p in sorted(candidates) if p in dataset.groundtruth]
+    for left, right in hits[:5]:
+        print(
+            f"  {dataset.collection[left].text()[:46]!r} ~ "
+            f"{dataset.collection[right].text()[:46]!r}"
+        )
+
+
+if __name__ == "__main__":
+    main()

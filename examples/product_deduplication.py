@@ -1,0 +1,55 @@
+"""Product catalog linkage with Problem-1 configuration optimization.
+
+Scenario: two e-commerce feeds describe overlapping product catalogs with
+typos, dropped tokens and marketing suffixes (the d3 dataset, an
+Amazon-GoogleBase analogue — the hardest product dataset of the paper).
+We fine-tune three filter families to the paper's objective — maximize
+precision subject to recall >= 0.9 — and inspect the winning
+configurations.
+
+Run:  python examples/product_deduplication.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import load_dataset
+from repro.tuning import evaluate_baseline, tune_method
+
+
+def main() -> None:
+    dataset = load_dataset("d3")
+    print(
+        f"Dataset {dataset.name} ({dataset.spec.description}): "
+        f"|E1|={len(dataset.left)}, |E2|={len(dataset.right)}, "
+        f"duplicates={len(dataset.groundtruth)}\n"
+    )
+
+    print("Fine-tuning with recall target PC >= 0.9 ...\n")
+    for method in ("SBW", "kNNJ", "FAISS"):
+        result = tune_method(method, dataset)
+        print(
+            f"{method:6s} PC={result.pc:.3f} PQ={result.pq:.4f} "
+            f"|C|={result.candidates:6d} RT={result.runtime * 1000:6.0f}ms "
+            f"({result.configurations_tried} configs tried)"
+        )
+        print(f"       best config: {result.describe_params()}\n")
+
+    print("Baselines with default parameters (no tuning):\n")
+    for baseline in ("PBW", "DkNN"):
+        result = evaluate_baseline(baseline, dataset, repetitions=1)
+        marker = "" if result.feasible else "  (missed the recall target!)"
+        print(
+            f"{baseline:6s} PC={result.pc:.3f} PQ={result.pq:.4f} "
+            f"|C|={result.candidates:6d}{marker}"
+        )
+
+    print(
+        "\nThe tuned syntactic methods (SBW, kNNJ) dominate the embedding-"
+        "\nbased FAISS on this noisy product data, and every tuned method"
+        "\nbeats its default-parameter baseline by a wide margin — the"
+        "\npaper's Conclusions 1 and 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Quickstart: filter a Clean-Clean ER dataset three different ways.
+
+Loads the d2 benchmark dataset (an Abt-Buy analogue: two product catalogs
+with full overlap), runs one filter from each family — a blocking
+workflow, a sparse NN join and a dense NN search — and compares their
+recall (PC), precision (PQ) and run-time.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.blocking import (
+    BlockingWorkflow,
+    MetaBlocking,
+    StandardBlocking,
+)
+from repro.core.metrics import evaluate_candidates
+from repro.datasets import load_dataset
+from repro.dense import FaissKNN
+from repro.sparse import KNNJoin
+
+
+def main() -> None:
+    dataset = load_dataset("d2")
+    print(
+        f"Dataset {dataset.name}: |E1|={len(dataset.left)}, "
+        f"|E2|={len(dataset.right)}, duplicates={len(dataset.groundtruth)}"
+    )
+
+    filters = [
+        # A blocking workflow: token blocks, then Meta-blocking pruning.
+        BlockingWorkflow(
+            StandardBlocking(), cleaner=MetaBlocking("ARCS", "RCNP")
+        ),
+        # A sparse NN method: 3-gram cosine kNN join.
+        KNNJoin(k=2, model="C3G", measure="cosine"),
+        # A dense NN method: embeddings + exact kNN search.
+        FaissKNN(k=2),
+    ]
+
+    print(f"\n{'filter':55s} {'PC':>6s} {'PQ':>7s} {'|C|':>7s} {'RT':>8s}")
+    for filter_ in filters:
+        start = time.perf_counter()
+        candidates = filter_.candidates(dataset.left, dataset.right)
+        elapsed = time.perf_counter() - start
+        evaluation = evaluate_candidates(
+            candidates,
+            dataset.groundtruth,
+            len(dataset.left),
+            len(dataset.right),
+        )
+        print(
+            f"{filter_.describe():55s} {evaluation.pc:6.3f} "
+            f"{evaluation.pq:7.4f} {evaluation.candidates:7d} "
+            f"{elapsed * 1000:6.0f}ms"
+        )
+
+    print(
+        "\nEvery filter receives the same input and emits the same output\n"
+        "(candidate pairs), so downstream matching is interchangeable."
+    )
+
+
+if __name__ == "__main__":
+    main()

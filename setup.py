@@ -1,0 +1,6 @@
+"""Setup shim: enables `python setup.py develop` on environments without
+the `wheel` package (pip's PEP 660 editable path needs bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""Benchmark harness: experiment matrix, table and figure renderers."""
+
+from .figures import (
+    RankSeries,
+    duplicate_rank_distribution,
+    figure03_dataset_stats,
+    figure04_06_series,
+    rank_histogram,
+)
+from .harness import (
+    ALL_METHODS,
+    EXCLUDED_CELLS,
+    CellResult,
+    ExperimentMatrix,
+    SettingKey,
+    bench_datasets,
+    schema_settings,
+)
+from .paper_reference import (
+    PAPER_INFEASIBLE,
+    PAPER_PQ,
+    PAPER_SETTINGS,
+    paper_pq,
+    paper_ranking,
+    spearman_correlation,
+)
+from .report import ReportBuilder
+from .runtime_breakdown import (
+    BLOCKING_PHASES,
+    NN_PHASES,
+    PhaseBreakdown,
+    breakdown_filter,
+    breakdown_from_matrix,
+)
+from .tables import (
+    render_table,
+    table06_datasets,
+    table07_effectiveness,
+    table08_blocking_configs,
+    table09_sparse_configs,
+    table10_dense_configs,
+    table11_candidates,
+)
+
+__all__ = [
+    "ALL_METHODS",
+    "BLOCKING_PHASES",
+    "EXCLUDED_CELLS",
+    "NN_PHASES",
+    "PAPER_INFEASIBLE",
+    "PAPER_PQ",
+    "PAPER_SETTINGS",
+    "CellResult",
+    "ExperimentMatrix",
+    "PhaseBreakdown",
+    "RankSeries",
+    "ReportBuilder",
+    "SettingKey",
+    "bench_datasets",
+    "breakdown_filter",
+    "breakdown_from_matrix",
+    "duplicate_rank_distribution",
+    "figure03_dataset_stats",
+    "figure04_06_series",
+    "rank_histogram",
+    "render_table",
+    "paper_pq",
+    "paper_ranking",
+    "schema_settings",
+    "spearman_correlation",
+    "table06_datasets",
+    "table07_effectiveness",
+    "table08_blocking_configs",
+    "table09_sparse_configs",
+    "table10_dense_configs",
+    "table11_candidates",
+]

@@ -1,0 +1,67 @@
+"""Command-line entry point: run the experiment matrix and print tables.
+
+Usage::
+
+    python -m repro.bench                 # all datasets, fast profile
+    python -m repro.bench d1 d2           # a subset
+    python -m repro.bench --profile full  # the paper's full grids
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..datasets.registry import DATASET_NAMES
+from .harness import ExperimentMatrix
+from .tables import (
+    table06_datasets,
+    table07_effectiveness,
+    table08_blocking_configs,
+    table09_sparse_configs,
+    table10_dense_configs,
+    table11_candidates,
+)
+from .figures import figure03_dataset_stats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the filtering benchmark and print every table.",
+    )
+    parser.add_argument(
+        "datasets",
+        nargs="*",
+        choices=list(DATASET_NAMES) + [[]],
+        help="datasets to include (default: all ten)",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=("fast", "full"),
+        default="fast",
+        help="tuning grid size (default: fast)",
+    )
+    args = parser.parse_args()
+    datasets = args.datasets or None
+
+    matrix = ExperimentMatrix(datasets=datasets, profile=args.profile)
+    matrix.run_all()
+
+    print()
+    print(table06_datasets(matrix.datasets))
+    print()
+    print(figure03_dataset_stats(matrix.datasets))
+    print()
+    print(table07_effectiveness(matrix))
+    print()
+    print(table08_blocking_configs(matrix))
+    print()
+    print(table09_sparse_configs(matrix))
+    print()
+    print(table10_dense_configs(matrix))
+    print()
+    print(table11_candidates(matrix))
+
+
+if __name__ == "__main__":
+    main()

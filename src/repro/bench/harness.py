@@ -1,0 +1,243 @@
+"""The experiment harness behind every table and figure of the paper.
+
+One :class:`ExperimentMatrix` run produces the grid of
+(method x dataset x schema setting) results that Tables VII-XI report;
+its results are cached on disk (JSON) so the per-table benchmark modules
+can share a single expensive optimization pass.
+
+Scope control:
+
+* datasets default to all ten, restricted by the ``REPRO_BENCH_DATASETS``
+  environment variable (comma-separated names) for quick runs;
+* the schema-based settings cover only the datasets whose key attribute
+  retains enough groundtruth coverage (Section VI drops D5-D7, D10);
+* method exclusions mirror the paper's "-" cells: MH-LSH and DeepBlocker
+  (plus DDB) do not scale to the largest dataset.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.optimizer import DEFAULT_RECALL_TARGET
+from ..datasets.generator import ERDataset
+from ..datasets.registry import (
+    DATASET_NAMES,
+    SCHEMA_BASED_DATASETS,
+    load_dataset,
+)
+from ..tuning import (
+    BASELINES,
+    FINE_TUNED_METHODS,
+    EmbeddingCache,
+    evaluate_baseline,
+    tune_method,
+)
+from ..tuning.result import TunedResult
+
+__all__ = [
+    "SettingKey",
+    "CellResult",
+    "ExperimentMatrix",
+    "bench_datasets",
+    "schema_settings",
+    "EXCLUDED_CELLS",
+    "ALL_METHODS",
+]
+
+#: Methods in Table VII's row order: fine-tuned + baselines interleaved
+#: per family, matching the paper's presentation.
+ALL_METHODS: Tuple[str, ...] = (
+    "SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW",
+    "EJ", "kNNJ", "DkNN",
+    "MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB", "DDB",
+)
+
+#: (method, dataset) cells the paper reports as "-" (out of memory on the
+#: largest dataset); we mirror them for the same scalability reason.
+EXCLUDED_CELLS: frozenset = frozenset(
+    {("MH-LSH", "d10"), ("DB", "d10"), ("DDB", "d10")}
+)
+
+
+def bench_datasets() -> List[str]:
+    """Datasets in scope: all ten, or the REPRO_BENCH_DATASETS subset."""
+    override = os.environ.get("REPRO_BENCH_DATASETS", "").strip()
+    if not override:
+        return list(DATASET_NAMES)
+    names = [name.strip() for name in override.split(",") if name.strip()]
+    unknown = [n for n in names if n not in DATASET_NAMES]
+    if unknown:
+        raise ValueError(f"unknown datasets in REPRO_BENCH_DATASETS: {unknown}")
+    return names
+
+
+def schema_settings(dataset_name: str) -> List[str]:
+    """The settings evaluated for a dataset: 'a' always, 'b' if covered."""
+    settings = ["a"]
+    if dataset_name in SCHEMA_BASED_DATASETS:
+        settings.append("b")
+    return settings
+
+
+@dataclass(frozen=True)
+class SettingKey:
+    """One experimental cell: a method on a dataset under a setting."""
+
+    method: str
+    dataset: str
+    setting: str  # "a" (schema-agnostic) or "b" (schema-based)
+
+    @property
+    def label(self) -> str:
+        return f"D{self.setting}{self.dataset[1:]}"
+
+    def as_string(self) -> str:
+        return f"{self.method}|{self.dataset}|{self.setting}"
+
+
+@dataclass
+class CellResult:
+    """Serializable result of one cell."""
+
+    method: str
+    dataset: str
+    setting: str
+    pc: float
+    pq: float
+    candidates: int
+    runtime: float
+    feasible: bool
+    params: Dict[str, object] = field(default_factory=dict)
+    configurations_tried: int = 0
+
+    @classmethod
+    def from_tuned(cls, key: SettingKey, result: TunedResult) -> "CellResult":
+        return cls(
+            method=key.method,
+            dataset=key.dataset,
+            setting=key.setting,
+            pc=result.pc,
+            pq=result.pq,
+            candidates=result.candidates,
+            runtime=result.runtime,
+            feasible=result.feasible,
+            params={k: _jsonable(v) for k, v in result.params.items()},
+            configurations_tried=result.configurations_tried,
+        )
+
+
+def _jsonable(value):
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class ExperimentMatrix:
+    """Runs and caches the full method x dataset x setting grid."""
+
+    def __init__(
+        self,
+        methods: Sequence[str] = ALL_METHODS,
+        datasets: Optional[Sequence[str]] = None,
+        target_recall: float = DEFAULT_RECALL_TARGET,
+        profile: str = "",
+        cache_path: Optional[Path] = None,
+    ) -> None:
+        self.methods = list(methods)
+        self.datasets = list(datasets) if datasets is not None else bench_datasets()
+        self.target_recall = target_recall
+        self.profile = profile
+        default_cache = Path(
+            os.environ.get("REPRO_BENCH_CACHE", ".bench_cache")
+        )
+        self.cache_path = cache_path or default_cache / "matrix.json"
+        self._results: Dict[str, CellResult] = {}
+        self._embedding_caches: Dict[str, EmbeddingCache] = {}
+        self._load_cache()
+
+    # ------------------------------------------------------------------
+    # Cache.
+    # ------------------------------------------------------------------
+
+    def _load_cache(self) -> None:
+        if self.cache_path.exists():
+            data = json.loads(self.cache_path.read_text())
+            for key, payload in data.items():
+                self._results[key] = CellResult(**payload)
+
+    def _save_cache(self) -> None:
+        self.cache_path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {key: asdict(cell) for key, cell in self._results.items()}
+        self.cache_path.write_text(json.dumps(payload, indent=1))
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+
+    def cells(self) -> Iterable[SettingKey]:
+        """Every cell in scope, dataset-major (matches the paper's tables)."""
+        for dataset in self.datasets:
+            for setting in schema_settings(dataset):
+                for method in self.methods:
+                    if (method, dataset) in EXCLUDED_CELLS:
+                        continue
+                    yield SettingKey(method, dataset, setting)
+
+    def _embedding_cache(self, dataset: str) -> EmbeddingCache:
+        if dataset not in self._embedding_caches:
+            self._embedding_caches[dataset] = EmbeddingCache()
+        return self._embedding_caches[dataset]
+
+    def run_cell(self, key: SettingKey, force: bool = False) -> CellResult:
+        """Run (or fetch from cache) one cell."""
+        cache_key = key.as_string()
+        if not force and cache_key in self._results:
+            return self._results[cache_key]
+        dataset = load_dataset(key.dataset)
+        attribute = dataset.key_attribute if key.setting == "b" else None
+        if key.method in BASELINES:
+            tuned = evaluate_baseline(
+                key.method,
+                dataset,
+                attribute,
+                target_recall=self.target_recall,
+                repetitions=2,
+            )
+        else:
+            tuned = tune_method(
+                key.method,
+                dataset,
+                attribute,
+                target_recall=self.target_recall,
+                profile=self.profile,
+                cache=self._embedding_cache(key.dataset),
+            )
+        cell = CellResult.from_tuned(key, tuned)
+        self._results[cache_key] = cell
+        self._save_cache()
+        return cell
+
+    def run_all(self, verbose: bool = True) -> List[CellResult]:
+        """Run every in-scope cell; returns them in table order."""
+        results = []
+        for key in self.cells():
+            cached = key.as_string() in self._results
+            cell = self.run_cell(key)
+            if verbose and not cached:
+                print(
+                    f"[{key.dataset}/{key.setting}] {key.method:7s} "
+                    f"PC={cell.pc:.3f} PQ={cell.pq:.4f} "
+                    f"|C|={cell.candidates} RT={cell.runtime:.2f}s",
+                    flush=True,
+                )
+            results.append(cell)
+        return results
+
+    def get(self, method: str, dataset: str, setting: str) -> Optional[CellResult]:
+        """A cell's cached result, or None when excluded / not yet run."""
+        return self._results.get(SettingKey(method, dataset, setting).as_string())

@@ -1,0 +1,142 @@
+"""The paper's published numbers, for paper-vs-measured comparison.
+
+Transcribed from Table VII(b) of Papadakis et al., ICDE 2023 — the
+precision (PQ) of every method per dataset and schema setting — plus the
+red "PC < 0.9" markings of Table VII(a).  Two cells are garbled in the
+source text and stored as ``None`` (CP-LSH on Da5, FAISS/SCANN on Da9);
+cells the paper reports as "-" (out of memory) are also ``None``.
+
+Our datasets are synthetic analogues, so absolute values are not expected
+to match; these references support *shape* analyses: per-cell method
+rankings (Spearman correlation), per-family winners and infeasibility
+patterns.  Method name mapping: ``EJ`` = ε-Join, ``DB`` = DeepBlocker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "PAPER_SETTINGS",
+    "PAPER_PQ",
+    "PAPER_INFEASIBLE",
+    "paper_pq",
+    "paper_ranking",
+    "spearman_correlation",
+]
+
+#: Column labels in the paper's order.
+PAPER_SETTINGS: Tuple[str, ...] = (
+    "Da1", "Da2", "Da3", "Da4", "Da5", "Da6", "Da7", "Da8", "Da9", "Da10",
+    "Db1", "Db2", "Db3", "Db4", "Db8", "Db9",
+)
+
+_ROWS: Dict[str, Sequence[Optional[float]]] = {
+    "SBW": (0.533, 0.216, 0.017, 0.957, 0.382, 0.189, 0.154, 0.117, 0.470,
+            0.475, 0.769, 0.259, 0.211, 0.822, 0.028, 0.524),
+    "QBW": (0.465, 0.740, 0.012, 0.897, 0.210, 0.078, 0.112, 0.116, 0.254,
+            0.347, 0.755, 0.750, 0.240, 0.783, 0.030, 0.232),
+    "EQBW": (0.757, 0.204, 0.012, 0.926, 0.220, 0.078, 0.124, 0.087, 0.149,
+             0.390, 0.764, 0.261, 0.188, 0.854, 0.021, 0.182),
+    "SABW": (0.767, 0.384, 0.015, 0.804, 0.217, 0.065, 0.146, 0.096, 0.322,
+             0.020, 0.757, 0.390, 0.226, 0.695, 0.010, 0.014),
+    "ESABW": (0.469, 0.759, 0.010, 0.751, 0.201, 0.059, 0.136, 0.088, 0.130,
+              0.014, 0.743, 0.780, 0.131, 0.545, 0.009, 0.010),
+    "PBW": (0.307, 0.015, 0.002, 0.020, 0.006, 0.004, 0.003, 4.5e-4, 0.001,
+            3.3e-4, 0.162, 0.175, 0.047, 0.230, 5.8e-4, 0.005),
+    "DBW": (2.7e-4, 0.065, 0.005, 0.042, 0.036, 0.008, 0.008, 0.002, 0.003,
+            0.009, 0.199, 0.163, 0.069, 0.063, 0.005, 0.003),
+    "EJ": (0.732, 0.095, 0.010, 0.945, 0.018, 0.001, 0.192, 0.068, 0.765,
+           0.033, 0.381, 0.147, 0.144, 0.886, 0.020, 0.669),
+    "kNNJ": (0.224, 0.229, 0.028, 0.954, 0.305, 0.122, 0.130, 0.150, 0.877,
+             0.149, 0.309, 0.295, 0.240, 0.836, 0.049, 0.647),
+    "DkNN": (0.047, 0.181, 0.130, 0.190, 0.053, 0.024, 0.026, 0.062, 0.182,
+             0.147, 0.100, 0.173, 0.149, 0.187, 0.054, 0.166),
+    "MH-LSH": (2.6e-4, 0.001, 2.7e-4, 0.005, 6.6e-5, 2.7e-5, 3.4e-5, 1.6e-5,
+               2.1e-5, None, 0.007, 0.001, 2.9e-4, 0.036, 1.7e-5, None),
+    "CP-LSH": (0.003, 0.006, 0.001, 0.079, None, 2.1e-4, 0.002, 4.0e-4,
+               2.2e-4, 7.8e-5, 0.130, 0.008, 0.003, 0.876, 0.001, 0.002),
+    "HP-LSH": (0.002, 0.004, 0.001, 0.059, 4.4e-4, 2.1e-4, 0.001, 2.6e-4,
+               1.5e-4, 7.3e-5, 0.061, 0.007, 0.002, 0.859, 4.0e-4, 0.024),
+    "FAISS": (0.082, 0.032, 0.001, 0.932, 0.012, 0.005, 0.041, 0.001, None,
+              1.5e-4, 0.376, 0.050, 0.024, 0.942, 0.004, 0.836),
+    "SCANN": (0.082, 0.032, 0.001, 0.932, 0.012, 0.005, 0.041, 0.002, None,
+              1.5e-4, 0.381, 0.050, 0.024, 0.941, 0.005, 0.836),
+    "DB": (0.247, 0.026, 0.002, 0.953, 0.011, 0.003, 0.130, 0.018, 0.167,
+           None, 0.256, 0.029, 0.073, 0.935, 0.012, 0.211),
+    "DDB": (0.008, 0.146, 0.047, 0.169, 0.053, 0.020, 0.027, 0.007, 0.007,
+            None, 0.008, 0.160, 0.061, 0.168, 0.007, 0.007),
+}
+
+#: PQ per (method, setting label); None = garbled or "-" in the paper.
+PAPER_PQ: Dict[Tuple[str, str], Optional[float]] = {
+    (method, setting): value
+    for method, row in _ROWS.items()
+    for setting, value in zip(PAPER_SETTINGS, row)
+}
+
+#: The paper's red cells: PC < 0.9 at the reported configuration.
+PAPER_INFEASIBLE: frozenset = frozenset(
+    {
+        ("DkNN", "Da3"), ("DkNN", "Da5"), ("DkNN", "Da10"), ("DkNN", "Db8"),
+        ("DDB", "Da2"), ("DDB", "Da3"), ("DDB", "Da5"), ("DDB", "Da6"),
+        ("DDB", "Db2"), ("DDB", "Db3"),
+        ("DBW", "Da6"), ("DBW", "Db1"), ("DBW", "Db3"),
+        ("PBW", "Db2"), ("PBW", "Db4"),
+        ("MH-LSH", "Db1"),
+    }
+)
+
+
+def paper_pq(method: str, setting: str) -> Optional[float]:
+    """The paper's PQ for one cell, or None when unavailable."""
+    return PAPER_PQ.get((method, setting))
+
+
+def paper_ranking(setting: str, methods: Sequence[str]) -> List[str]:
+    """Methods ordered by the paper's PQ for one setting (best first);
+    methods without a value are omitted."""
+    scored = [
+        (method, PAPER_PQ.get((method, setting)))
+        for method in methods
+    ]
+    present = [(m, v) for m, v in scored if v is not None]
+    present.sort(key=lambda item: -item[1])
+    return [method for method, __ in present]
+
+
+def spearman_correlation(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Spearman rank correlation of two aligned score lists.
+
+    Implemented directly (Pearson over ranks, average ranks for ties) so
+    the library core needs no scipy.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("sequences must be aligned")
+    n = len(xs)
+    if n < 2:
+        return 0.0
+
+    def ranks(values: Sequence[float]) -> List[float]:
+        order = sorted(range(n), key=lambda i: values[i])
+        result = [0.0] * n
+        i = 0
+        while i < n:
+            j = i
+            while j + 1 < n and values[order[j + 1]] == values[order[i]]:
+                j += 1
+            average = (i + j) / 2.0 + 1.0
+            for position in range(i, j + 1):
+                result[order[position]] = average
+            i = j + 1
+        return result
+
+    rx, ry = ranks(list(xs)), ranks(list(ys))
+    mean_x = sum(rx) / n
+    mean_y = sum(ry) / n
+    covariance = sum((a - mean_x) * (b - mean_y) for a, b in zip(rx, ry))
+    var_x = sum((a - mean_x) ** 2 for a in rx)
+    var_y = sum((b - mean_y) ** 2 for b in ry)
+    if var_x == 0.0 or var_y == 0.0:
+        return 0.0
+    return covariance / (var_x * var_y) ** 0.5

@@ -1,0 +1,110 @@
+"""Run-time decomposition per filtering method (Figures 7, 8 and 9).
+
+Blocking workflows decompose into block building, purging, filtering and
+comparison cleaning; NN methods into preprocessing, indexing and querying.
+The breakdown runs each method once at a given (usually tuned)
+configuration and reads the per-phase timings its filter recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.filters import Filter
+from ..datasets.generator import ERDataset
+from ..datasets.registry import load_dataset
+from ..tuning import BASELINES, make_baseline
+from ..tuning.blocking import WORKFLOW_NAMES, BlockingWorkflowTuner
+from ..tuning.dense import KNNSearchTuner, LSHTuner
+from ..tuning.sparse import EpsilonJoinTuner, KNNJoinTuner
+from .harness import CellResult, ExperimentMatrix
+
+__all__ = ["PhaseBreakdown", "breakdown_filter", "breakdown_from_matrix"]
+
+#: Phase orderings per family, matching the appendix's decomposition.
+BLOCKING_PHASES = ("build", "purge", "filter", "clean")
+NN_PHASES = ("preprocess", "index", "query")
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """Per-phase run-time of one method on one dataset/setting."""
+
+    method: str
+    dataset: str
+    setting: str
+    phases: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def fraction(self, phase: str) -> float:
+        total = self.total
+        return self.phases.get(phase, 0.0) / total if total else 0.0
+
+    def render(self) -> str:
+        parts = ", ".join(
+            f"{name}={seconds * 1000:.0f}ms ({self.fraction(name):.0%})"
+            for name, seconds in self.phases.items()
+        )
+        return f"{self.method} on D{self.setting}{self.dataset[1:]}: {parts}"
+
+
+def breakdown_filter(
+    filter_: Filter,
+    dataset: ERDataset,
+    method: str,
+    setting: str,
+    attribute: Optional[str] = None,
+) -> PhaseBreakdown:
+    """Run ``filter_`` once and read its phase timer."""
+    filter_.candidates(dataset.left, dataset.right, attribute)
+    return PhaseBreakdown(
+        method=method,
+        dataset=dataset.name,
+        setting=setting,
+        phases=filter_.timer.as_dict(),
+    )
+
+
+def _materialize(method: str, cell: CellResult) -> Filter:
+    """Rebuild the tuned/baseline filter behind a matrix cell."""
+    if method in BASELINES:
+        return make_baseline(method)
+    if method in WORKFLOW_NAMES:
+        return BlockingWorkflowTuner(method).build_workflow(cell.params)
+    if method == "EJ":
+        return EpsilonJoinTuner().build_filter(cell.params)
+    if method == "kNNJ":
+        return KNNJoinTuner().build_filter(cell.params)
+    if method in ("FAISS", "SCANN", "DB"):
+        codes = {"FAISS": "faiss", "SCANN": "scann", "DB": "deepblocker"}
+        return KNNSearchTuner(codes[method]).build_filter(cell.params)
+    if method in ("MH-LSH", "HP-LSH", "CP-LSH"):
+        return LSHTuner(method.lower()).build_filter(
+            {k: v for k, v in cell.params.items()}
+        )
+    raise ValueError(f"unknown method {method!r}")
+
+
+def breakdown_from_matrix(
+    matrix: ExperimentMatrix,
+    methods: Sequence[str],
+    dataset_name: str,
+    setting: str,
+) -> List[PhaseBreakdown]:
+    """Breakdowns for all ``methods`` at their tuned configurations."""
+    dataset = load_dataset(dataset_name)
+    attribute = dataset.key_attribute if setting == "b" else None
+    breakdowns = []
+    for method in methods:
+        cell = matrix.get(method, dataset_name, setting)
+        if cell is None:
+            continue
+        filter_ = _materialize(method, cell)
+        breakdowns.append(
+            breakdown_filter(filter_, dataset, method, setting, attribute)
+        )
+    return breakdowns

@@ -1,0 +1,189 @@
+"""ASCII renderers for the paper's tables (VI through XI).
+
+Each function takes the data (dataset registry and/or a populated
+:class:`~repro.bench.harness.ExperimentMatrix`) and returns the table as a
+string, printing the same rows/columns the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..datasets.registry import DATASET_NAMES, load_dataset
+from ..datasets.stats import select_best_attribute
+from .harness import ExperimentMatrix, schema_settings
+
+__all__ = [
+    "render_table",
+    "table06_datasets",
+    "table07_effectiveness",
+    "table08_blocking_configs",
+    "table09_sparse_configs",
+    "table10_dense_configs",
+    "table11_candidates",
+]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    columns = [list(column) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _setting_columns(datasets: Sequence[str]) -> List[tuple]:
+    """(dataset, setting) columns in the paper's order: all 'a', then 'b'."""
+    columns = [(d, "a") for d in datasets]
+    columns += [
+        (d, "b") for d in datasets if "b" in schema_settings(d)
+    ]
+    return columns
+
+
+def table06_datasets(datasets: Sequence[str] = DATASET_NAMES) -> str:
+    """Table VI: technical characteristics of the datasets."""
+    headers = [""] + [name for name in datasets]
+    rows = []
+    loaded = [load_dataset(name) for name in datasets]
+    rows.append(
+        ["E1 / E2"]
+        + [f"{ds.spec.size1} / {ds.spec.size2}" for ds in loaded]
+    )
+    rows.append(["Duplicates"] + [str(len(ds.groundtruth)) for ds in loaded])
+    rows.append(
+        ["Cartesian"]
+        + [f"{ds.spec.cartesian_product:.2e}" for ds in loaded]
+    )
+    rows.append(
+        ["Best attribute"] + [select_best_attribute(ds) for ds in loaded]
+    )
+    rows.append(
+        ["Domain"] + [ds.spec.domain for ds in loaded]
+    )
+    return render_table(
+        headers, rows, title="Table VI - dataset characteristics"
+    )
+
+
+def _matrix_table(
+    matrix: ExperimentMatrix,
+    value: Callable,
+    title: str,
+    methods: Optional[Sequence[str]] = None,
+) -> str:
+    methods = list(methods or matrix.methods)
+    columns = _setting_columns(matrix.datasets)
+    headers = ["method"] + [f"D{s}{d[1:]}" for d, s in columns]
+    rows = []
+    for method in methods:
+        row = [method]
+        for dataset, setting in columns:
+            cell = matrix.get(method, dataset, setting)
+            row.append(value(cell) if cell is not None else "-")
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _fmt_runtime(seconds: float) -> str:
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    return f"{seconds:.1f}s"
+
+
+def table07_effectiveness(matrix: ExperimentMatrix) -> str:
+    """Table VII: PC, PQ and RT of every method (a/b/c sub-tables).
+
+    Cells whose recall misses the target carry a ``*`` suffix — the
+    paper's red marking.
+    """
+    def flag(cell, text: str) -> str:
+        return text + ("" if cell.feasible else "*")
+
+    parts = [
+        _matrix_table(
+            matrix, lambda c: flag(c, f"{c.pc:.3f}"),
+            "Table VII(a) - recall (PC); * marks PC < target",
+        ),
+        _matrix_table(
+            matrix, lambda c: flag(c, f"{c.pq:.4f}"),
+            "Table VII(b) - precision (PQ); * marks PC < target",
+        ),
+        _matrix_table(
+            matrix, lambda c: flag(c, _fmt_runtime(c.runtime)),
+            "Table VII(c) - run-time (RT); * marks PC < target",
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def _config_table(
+    matrix: ExperimentMatrix, methods: Sequence[str], title: str
+) -> str:
+    columns = _setting_columns(matrix.datasets)
+    headers = ["method"] + [f"D{s}{d[1:]}" for d, s in columns]
+    rows = []
+    for method in methods:
+        row = [method]
+        for dataset, setting in columns:
+            cell = matrix.get(method, dataset, setting)
+            if cell is None:
+                row.append("-")
+            else:
+                row.append(
+                    ";".join(
+                        f"{k}={v}" for k, v in sorted(cell.params.items())
+                    )
+                    or "default"
+                )
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def table08_blocking_configs(matrix: ExperimentMatrix) -> str:
+    """Table VIII: the best blocking-workflow configurations."""
+    return _config_table(
+        matrix,
+        ["SBW", "QBW", "EQBW", "SABW", "ESABW"],
+        "Table VIII - best blocking workflow configurations",
+    )
+
+
+def table09_sparse_configs(matrix: ExperimentMatrix) -> str:
+    """Table IX: the best sparse-NN configurations."""
+    return _config_table(
+        matrix, ["EJ", "kNNJ"], "Table IX - best sparse NN configurations"
+    )
+
+
+def table10_dense_configs(matrix: ExperimentMatrix) -> str:
+    """Table X: the best dense-NN configurations."""
+    return _config_table(
+        matrix,
+        ["MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB"],
+        "Table X - best dense NN configurations",
+    )
+
+
+def table11_candidates(matrix: ExperimentMatrix) -> str:
+    """Table XI: the number of candidate pairs per method and dataset."""
+    def flag(cell) -> str:
+        text = (
+            f"{cell.candidates:.1e}"
+            if cell.candidates >= 100_000
+            else str(cell.candidates)
+        )
+        return text + ("" if cell.feasible else "*")
+
+    return _matrix_table(
+        matrix, flag, "Table XI - candidate pairs; * marks PC < target"
+    )

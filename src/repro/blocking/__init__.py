@@ -1,0 +1,48 @@
+"""Blocking workflows: building, cleaning, comparison cleaning (Figure 1)."""
+
+from .attribute_clustering import AttributeClusteringBlocking
+from .blocks import Block, BlockCollection, build_blocks_from_keys
+from .canopy import CanopyClusteringBlocking
+from .building import (
+    BlockBuilder,
+    ExtendedQGramsBlocking,
+    ExtendedSuffixArraysBlocking,
+    QGramsBlocking,
+    SortedNeighborhoodBlocking,
+    StandardBlocking,
+    SuffixArraysBlocking,
+)
+from .cleaning import BlockFiltering, BlockPurging
+from .metablocking import (
+    PRUNING_ALGORITHMS,
+    WEIGHTING_SCHEMES,
+    ComparisonPropagation,
+    MetaBlocking,
+    PairGraph,
+)
+from .workflow import BlockingWorkflow, default_workflow, parameter_free_workflow
+
+__all__ = [
+    "PRUNING_ALGORITHMS",
+    "WEIGHTING_SCHEMES",
+    "AttributeClusteringBlocking",
+    "Block",
+    "BlockBuilder",
+    "BlockCollection",
+    "BlockFiltering",
+    "BlockPurging",
+    "BlockingWorkflow",
+    "CanopyClusteringBlocking",
+    "ComparisonPropagation",
+    "ExtendedQGramsBlocking",
+    "ExtendedSuffixArraysBlocking",
+    "MetaBlocking",
+    "PairGraph",
+    "QGramsBlocking",
+    "SortedNeighborhoodBlocking",
+    "StandardBlocking",
+    "SuffixArraysBlocking",
+    "build_blocks_from_keys",
+    "default_workflow",
+    "parameter_free_workflow",
+]

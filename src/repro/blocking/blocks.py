@@ -1,0 +1,158 @@
+"""Blocks and block collections for Clean-Clean ER.
+
+A block groups the entities that share one signature (blocking key).  For
+Clean-Clean ER a block carries two sides — ids from ``E1`` and ids from
+``E2`` — and only cross-side pairs are candidate comparisons, so a block
+with an empty side contributes nothing and is dropped at construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.candidates import CandidateSet
+
+__all__ = ["Block", "BlockCollection", "build_blocks_from_keys"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block: a signature plus the entity ids on each side."""
+
+    key: str
+    left: Tuple[int, ...]
+    right: Tuple[int, ...]
+
+    @property
+    def comparisons(self) -> int:
+        """Number of candidate comparisons the block induces."""
+        return len(self.left) * len(self.right)
+
+    @property
+    def size(self) -> int:
+        """Total number of entities in the block."""
+        return len(self.left) + len(self.right)
+
+
+class BlockCollection:
+    """An ordered list of blocks plus entity-to-block inverted indexes."""
+
+    def __init__(self, blocks: Iterable[Block] = ()) -> None:
+        self.blocks: List[Block] = [
+            b for b in blocks if b.left and b.right
+        ]
+        self._left_index: Optional[Dict[int, List[int]]] = None
+        self._right_index: Optional[Dict[int, List[int]]] = None
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks)
+
+    def __getitem__(self, index: int) -> Block:
+        return self.blocks[index]
+
+    @property
+    def total_comparisons(self) -> int:
+        """Sum of per-block comparisons (counts redundant pairs repeatedly)."""
+        return sum(block.comparisons for block in self.blocks)
+
+    @property
+    def total_assignments(self) -> int:
+        """Sum of block sizes, i.e. the number of entity-to-block assignments."""
+        return sum(block.size for block in self.blocks)
+
+    def blocks_of_left(self, entity: int) -> List[int]:
+        """Indices of the blocks containing E1 entity ``entity``."""
+        return self._ensure_left_index().get(entity, [])
+
+    def blocks_of_right(self, entity: int) -> List[int]:
+        """Indices of the blocks containing E2 entity ``entity``."""
+        return self._ensure_right_index().get(entity, [])
+
+    def left_index(self) -> Dict[int, List[int]]:
+        """Full E1-entity -> block-indices map."""
+        return self._ensure_left_index()
+
+    def right_index(self) -> Dict[int, List[int]]:
+        """Full E2-entity -> block-indices map."""
+        return self._ensure_right_index()
+
+    def _ensure_left_index(self) -> Dict[int, List[int]]:
+        if self._left_index is None:
+            index: Dict[int, List[int]] = {}
+            for block_id, block in enumerate(self.blocks):
+                for entity in block.left:
+                    index.setdefault(entity, []).append(block_id)
+            self._left_index = index
+        return self._left_index
+
+    def _ensure_right_index(self) -> Dict[int, List[int]]:
+        if self._right_index is None:
+            index: Dict[int, List[int]] = {}
+            for block_id, block in enumerate(self.blocks):
+                for entity in block.right:
+                    index.setdefault(entity, []).append(block_id)
+            self._right_index = index
+        return self._right_index
+
+    def pair_keys(self, width: int) -> "np.ndarray":
+        """Distinct cross-side pairs as sorted ``left * width + right`` keys.
+
+        The fast path used by the configuration optimizer (see
+        :mod:`repro.core.fastpairs`); ``width`` must exceed every right id.
+        """
+        import numpy as np
+
+        chunks = []
+        for block in self.blocks:
+            left = np.asarray(block.left, dtype=np.int64)
+            right = np.asarray(block.right, dtype=np.int64)
+            chunks.append(
+                (np.repeat(left, len(right)) * width) + np.tile(right, len(left))
+            )
+        if not chunks:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks))
+
+    def distinct_pairs(self) -> CandidateSet:
+        """All distinct cross-side pairs (Comparison Propagation semantics)."""
+        candidates = CandidateSet()
+        for block in self.blocks:
+            for left in block.left:
+                for right in block.right:
+                    candidates.add(left, right)
+        return candidates
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BlockCollection(blocks={len(self.blocks)}, "
+            f"comparisons={self.total_comparisons})"
+        )
+
+
+def build_blocks_from_keys(
+    left_keys: Sequence[Iterable[str]],
+    right_keys: Sequence[Iterable[str]],
+) -> BlockCollection:
+    """Group entities with identical signatures into blocks.
+
+    ``left_keys[i]`` / ``right_keys[j]`` are the signatures of E1 entity
+    ``i`` / E2 entity ``j``.  Blocks are emitted in sorted-key order so the
+    result is deterministic; single-side blocks are dropped by the
+    :class:`BlockCollection` constructor.
+    """
+    by_key: Dict[str, Tuple[List[int], List[int]]] = {}
+    for entity, keys in enumerate(left_keys):
+        for key in set(keys):
+            by_key.setdefault(key, ([], []))[0].append(entity)
+    for entity, keys in enumerate(right_keys):
+        for key in set(keys):
+            by_key.setdefault(key, ([], []))[1].append(entity)
+    blocks = (
+        Block(key=key, left=tuple(sides[0]), right=tuple(sides[1]))
+        for key, sides in sorted(by_key.items())
+    )
+    return BlockCollection(blocks)

@@ -1,0 +1,31 @@
+"""Core types: entity model, candidate sets, metrics, filter interface."""
+
+from .candidates import CandidateSet
+from .filters import Filter, PhaseTimer
+from .groundtruth import GroundTruth
+from .metrics import (
+    FilterEvaluation,
+    evaluate_candidates,
+    f_measure,
+    pair_completeness,
+    pairs_quality,
+    reduction_ratio,
+    timed,
+)
+from .profile import EntityCollection, EntityProfile
+
+__all__ = [
+    "CandidateSet",
+    "EntityCollection",
+    "EntityProfile",
+    "Filter",
+    "FilterEvaluation",
+    "GroundTruth",
+    "PhaseTimer",
+    "evaluate_candidates",
+    "f_measure",
+    "pair_completeness",
+    "pairs_quality",
+    "reduction_ratio",
+    "timed",
+]

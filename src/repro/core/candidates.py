@@ -1,0 +1,71 @@
+"""Candidate pair sets — the common output of every filtering method.
+
+A candidate pair ``(i, j)`` couples entity ``i`` from collection ``E1`` with
+entity ``j`` from collection ``E2``.  Because the paper studies Clean-Clean
+ER, the two sides come from different collections, so pairs are *ordered*:
+``(i, j)`` always means ``(id in E1, id in E2)``.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Iterator, Set, Tuple
+
+__all__ = ["CandidateSet"]
+
+Pair = Tuple[int, int]
+
+
+class CandidateSet:
+    """A deduplicated set of candidate pairs between ``E1`` and ``E2``.
+
+    The class is a thin, explicit wrapper around a ``set`` of pairs; it
+    exists so that filtering methods share one well-defined output type and
+    so evaluation code cannot accidentally double-count redundant pairs.
+    """
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self, pairs: Iterable[Pair] = ()) -> None:
+        self._pairs: Set[Pair] = set()
+        for left, right in pairs:
+            self.add(left, right)
+
+    def add(self, left: int, right: int) -> None:
+        """Add the pair (entity ``left`` of E1, entity ``right`` of E2)."""
+        self._pairs.add((int(left), int(right)))
+
+    def update(self, pairs: Iterable[Pair]) -> None:
+        for left, right in pairs:
+            self.add(left, right)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._pairs
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CandidateSet):
+            return self._pairs == other._pairs
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
+        raise TypeError("CandidateSet is mutable and unhashable")
+
+    def as_frozenset(self) -> FrozenSet[Pair]:
+        """An immutable snapshot of the pairs."""
+        return frozenset(self._pairs)
+
+    def intersection_size(self, other: "CandidateSet") -> int:
+        return len(self._pairs & other._pairs)
+
+    def union(self, other: "CandidateSet") -> "CandidateSet":
+        result = CandidateSet()
+        result._pairs = self._pairs | other._pairs
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CandidateSet(size={len(self)})"

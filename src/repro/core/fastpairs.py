@@ -1,0 +1,80 @@
+"""Array-encoded candidate pairs for the hot evaluation path.
+
+The configuration optimizer evaluates thousands of candidate sets; building
+a Python ``set`` of tuples for each would dominate its run-time.  This
+module encodes a pair ``(left, right)`` as the single integer
+``left * width + right`` (``width`` > every right id) and evaluates PC/PQ
+directly on sorted key arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from .candidates import CandidateSet
+from .groundtruth import GroundTruth
+from .metrics import FilterEvaluation
+
+__all__ = [
+    "encode_pairs",
+    "unique_keys",
+    "groundtruth_keys",
+    "evaluate_keys",
+    "keys_to_candidate_set",
+]
+
+
+def encode_pairs(
+    lefts: np.ndarray, rights: np.ndarray, width: int
+) -> np.ndarray:
+    """Encode parallel id arrays into single int64 keys."""
+    return lefts.astype(np.int64) * width + rights.astype(np.int64)
+
+
+def unique_keys(keys: np.ndarray) -> np.ndarray:
+    """Sorted, de-duplicated keys (the canonical candidate-set encoding)."""
+    return np.unique(keys)
+
+
+def groundtruth_keys(groundtruth: GroundTruth, width: int) -> np.ndarray:
+    """The groundtruth as a sorted key array."""
+    if not len(groundtruth):
+        return np.zeros(0, dtype=np.int64)
+    pairs = np.asarray(sorted(groundtruth), dtype=np.int64)
+    return np.unique(pairs[:, 0] * width + pairs[:, 1])
+
+
+def evaluate_keys(
+    candidate_keys: np.ndarray,
+    gt_keys: np.ndarray,
+    size1: int,
+    size2: int,
+) -> FilterEvaluation:
+    """PC/PQ/RR of a *sorted unique* candidate key array."""
+    found = 0
+    if len(candidate_keys) and len(gt_keys):
+        positions = np.searchsorted(candidate_keys, gt_keys)
+        positions = np.minimum(positions, len(candidate_keys) - 1)
+        found = int(np.sum(candidate_keys[positions] == gt_keys))
+    total = size1 * size2
+    pc = found / len(gt_keys) if len(gt_keys) else 0.0
+    pq = found / len(candidate_keys) if len(candidate_keys) else 0.0
+    rr = max(0.0, min(1.0, 1.0 - len(candidate_keys) / total)) if total else 0.0
+    return FilterEvaluation(
+        pc=pc,
+        pq=pq,
+        rr=rr,
+        candidates=int(len(candidate_keys)),
+        duplicates_found=found,
+    )
+
+
+def keys_to_candidate_set(keys: np.ndarray, width: int) -> CandidateSet:
+    """Decode a key array back into a :class:`CandidateSet`."""
+    result = CandidateSet()
+    lefts = (keys // width).tolist()
+    rights = (keys % width).tolist()
+    result.update(zip(lefts, rights))
+    return result

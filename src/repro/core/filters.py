@@ -1,0 +1,95 @@
+"""The common interface implemented by every filtering method.
+
+Blocking workflows, sparse NN and dense NN methods all receive the same
+input (two entity collections plus the schema setting) and produce the same
+output (a :class:`~repro.core.candidates.CandidateSet`), which is what makes
+the paper's cross-family comparison possible.
+
+Filters also record a per-phase run-time breakdown (:class:`PhaseTimer`),
+used to regenerate Figures 7-9 of the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .candidates import CandidateSet
+from .profile import EntityCollection
+
+__all__ = ["Filter", "PhaseTimer"]
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase of a filter run."""
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._phases[name] = self._phases.get(name, 0.0) + elapsed
+
+    def reset(self) -> None:
+        self._phases.clear()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self._phases)
+
+    @property
+    def total(self) -> float:
+        return sum(self._phases.values())
+
+
+class Filter(abc.ABC):
+    """Abstract filtering method.
+
+    Subclasses implement :meth:`_run`; :meth:`candidates` wraps it so that
+    the phase timer is reset on every invocation.  ``attribute=None`` selects
+    schema-agnostic settings (all values concatenated); a named attribute
+    selects schema-based settings.
+    """
+
+    #: Human-readable method name, used in benchmark tables.
+    name: str = "filter"
+
+    def __init__(self) -> None:
+        self.timer = PhaseTimer()
+
+    def candidates(
+        self,
+        left: EntityCollection,
+        right: EntityCollection,
+        attribute: Optional[str] = None,
+    ) -> CandidateSet:
+        """Produce the candidate pairs between ``left`` (E1) and ``right`` (E2)."""
+        self.timer.reset()
+        return self._run(left, right, attribute)
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        left: EntityCollection,
+        right: EntityCollection,
+        attribute: Optional[str],
+    ) -> CandidateSet:
+        """Method-specific candidate generation."""
+
+    @property
+    def is_stochastic(self) -> bool:
+        """True for methods whose output varies across runs (Table II)."""
+        return False
+
+    def describe(self) -> str:
+        """One-line description of the configured method."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.describe()}>"

@@ -1,0 +1,74 @@
+"""Groundtruth: the set of true duplicate pairs between two collections."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Set, Tuple
+
+from .candidates import CandidateSet
+from .profile import EntityCollection
+
+__all__ = ["GroundTruth"]
+
+Pair = Tuple[int, int]
+
+
+class GroundTruth:
+    """True matches between ``E1`` and ``E2`` as dense-id pairs.
+
+    For Clean-Clean ER each entity matches at most one entity on the other
+    side in real datasets, but the class does not enforce that — some
+    benchmark datasets legitimately contain one-to-many matches.
+    """
+
+    def __init__(self, pairs: Iterable[Pair] = ()) -> None:
+        self._pairs: Set[Pair] = {(int(a), int(b)) for a, b in pairs}
+        self._by_left: Dict[int, List[int]] = {}
+        self._by_right: Dict[int, List[int]] = {}
+        for left, right in self._pairs:
+            self._by_left.setdefault(left, []).append(right)
+            self._by_right.setdefault(right, []).append(left)
+
+    @classmethod
+    def from_uids(
+        cls,
+        uid_pairs: Iterable[Tuple[str, str]],
+        left: EntityCollection,
+        right: EntityCollection,
+    ) -> "GroundTruth":
+        """Resolve uid pairs against two collections."""
+        return cls(
+            (left.index_of(a), right.index_of(b)) for a, b in uid_pairs
+        )
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __contains__(self, pair: object) -> bool:
+        return pair in self._pairs
+
+    def as_frozenset(self) -> FrozenSet[Pair]:
+        return frozenset(self._pairs)
+
+    def matches_of_left(self, left: int) -> List[int]:
+        """E2 ids matching E1 entity ``left`` (empty list when none)."""
+        return list(self._by_left.get(left, ()))
+
+    def matches_of_right(self, right: int) -> List[int]:
+        """E1 ids matching E2 entity ``right``."""
+        return list(self._by_right.get(right, ()))
+
+    def duplicates_in(self, candidates: CandidateSet) -> int:
+        """Number of true matches contained in ``candidates``."""
+        if len(candidates) < len(self._pairs):
+            return sum(1 for pair in candidates if pair in self._pairs)
+        return sum(1 for pair in self._pairs if pair in candidates)
+
+    def reversed(self) -> "GroundTruth":
+        """Groundtruth with the roles of E1 and E2 swapped."""
+        return GroundTruth((b, a) for a, b in self._pairs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GroundTruth(size={len(self)})"

@@ -1,0 +1,156 @@
+"""Entity profiles and collections.
+
+An entity profile is a set of textual name-value pairs describing one
+real-world object (Section III of the paper).  This model covers relational
+records as well as semi-structured RDF descriptions.  Profiles live inside an
+:class:`EntityCollection`, which assigns each profile a dense integer id used
+throughout the library (blocks, candidate pairs, indexes all refer to these
+ids).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["EntityProfile", "EntityCollection"]
+
+
+@dataclass(frozen=True)
+class EntityProfile:
+    """One entity: an identifier plus textual name-value pairs.
+
+    Attributes
+    ----------
+    uid:
+        A stable, user-facing identifier (e.g. the id used by the source
+        dataset).  Uniqueness within a collection is enforced when the
+        profile is added to an :class:`EntityCollection`.
+    attributes:
+        Mapping of attribute name to textual value.  Empty and missing
+        values are both represented by the attribute being absent or mapped
+        to an empty string; :meth:`value` normalizes the two.
+    """
+
+    uid: str
+    attributes: Mapping[str, str] = field(default_factory=dict)
+
+    def value(self, attribute: str) -> str:
+        """Return the value of ``attribute``, or ``""`` when absent."""
+        return (self.attributes.get(attribute) or "").strip()
+
+    def has_value(self, attribute: str) -> bool:
+        """True when ``attribute`` carries a non-empty value."""
+        return bool(self.value(attribute))
+
+    def text(self, attribute: Optional[str] = None) -> str:
+        """Return the textual content used by filtering methods.
+
+        With ``attribute=None`` (schema-agnostic settings) all values are
+        concatenated, separated by single spaces, in sorted attribute-name
+        order so that the result is deterministic.  With a named attribute
+        (schema-based settings) only that value is returned.
+        """
+        if attribute is not None:
+            return self.value(attribute)
+        parts = [
+            value.strip()
+            for __, value in sorted(self.attributes.items())
+            if value and value.strip()
+        ]
+        return " ".join(parts)
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Names of the attributes carrying non-empty values."""
+        return tuple(
+            name for name in sorted(self.attributes) if self.has_value(name)
+        )
+
+
+class EntityCollection:
+    """An ordered, duplicate-free set of entity profiles.
+
+    Profiles are addressed by their position (a dense ``int`` id); this is
+    the id space used by every filtering method.  The collection also keeps
+    a reverse map from ``uid`` to position for groundtruth resolution.
+    """
+
+    def __init__(
+        self,
+        profiles: Iterable[EntityProfile] = (),
+        name: str = "",
+    ) -> None:
+        self.name = name
+        self._profiles: List[EntityProfile] = []
+        self._uid_to_index: Dict[str, int] = {}
+        for profile in profiles:
+            self.add(profile)
+
+    def add(self, profile: EntityProfile) -> int:
+        """Append ``profile``; returns its dense integer id.
+
+        Raises ``ValueError`` on a duplicate uid — collections model the
+        individually duplicate-free inputs of Clean-Clean ER.
+        """
+        if profile.uid in self._uid_to_index:
+            raise ValueError(
+                f"duplicate uid {profile.uid!r} in collection {self.name!r}"
+            )
+        index = len(self._profiles)
+        self._profiles.append(profile)
+        self._uid_to_index[profile.uid] = index
+        return index
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[EntityProfile]:
+        return iter(self._profiles)
+
+    def __getitem__(self, index: int) -> EntityProfile:
+        return self._profiles[index]
+
+    def index_of(self, uid: str) -> int:
+        """Dense id of the profile with the given ``uid`` (KeyError if absent)."""
+        return self._uid_to_index[uid]
+
+    def __contains__(self, uid: object) -> bool:
+        return uid in self._uid_to_index
+
+    def texts(self, attribute: Optional[str] = None) -> List[str]:
+        """Textual content of every profile (see :meth:`EntityProfile.text`)."""
+        return [profile.text(attribute) for profile in self._profiles]
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        """Union of attribute names across all profiles, sorted."""
+        names = set()
+        for profile in self._profiles:
+            names.update(profile.attributes)
+        return tuple(sorted(names))
+
+    def coverage(self, attribute: str) -> float:
+        """Portion of profiles with a non-empty value for ``attribute``."""
+        if not self._profiles:
+            return 0.0
+        covered = sum(1 for p in self._profiles if p.has_value(attribute))
+        return covered / len(self._profiles)
+
+    def distinctiveness(self, attribute: str) -> float:
+        """Portion of distinct values among the non-empty ones."""
+        values = [
+            p.value(attribute) for p in self._profiles if p.has_value(attribute)
+        ]
+        if not values:
+            return 0.0
+        return len(set(values)) / len(values)
+
+    def subset(self, indices: Sequence[int], name: str = "") -> "EntityCollection":
+        """A new collection containing the profiles at ``indices``."""
+        return EntityCollection(
+            (self._profiles[i] for i in indices), name=name or self.name
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EntityCollection(name={self.name!r}, size={len(self)})"

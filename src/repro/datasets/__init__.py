@@ -1,0 +1,64 @@
+"""Synthetic benchmark datasets: domains, noise, generation, statistics."""
+
+from .domains import (
+    DOMAINS,
+    BibliographicDomain,
+    Domain,
+    MediaDomain,
+    ProductDomain,
+    RestaurantDomain,
+)
+from .generator import DatasetSpec, ERDataset, generate
+from .io import (
+    read_collection,
+    read_groundtruth,
+    write_collection,
+    write_groundtruth,
+)
+from .noise import NoiseProfile, TextNoiser
+from .registry import (
+    DATASET_NAMES,
+    DATASET_SPECS,
+    SCHEMA_BASED_DATASETS,
+    load_all,
+    load_dataset,
+)
+from .stats import (
+    AttributeStats,
+    TextVolume,
+    attribute_stats,
+    character_length,
+    select_best_attribute,
+    text_volume,
+    vocabulary_size,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "DATASET_SPECS",
+    "DOMAINS",
+    "SCHEMA_BASED_DATASETS",
+    "AttributeStats",
+    "BibliographicDomain",
+    "DatasetSpec",
+    "Domain",
+    "ERDataset",
+    "MediaDomain",
+    "NoiseProfile",
+    "ProductDomain",
+    "RestaurantDomain",
+    "TextNoiser",
+    "TextVolume",
+    "attribute_stats",
+    "character_length",
+    "generate",
+    "load_all",
+    "load_dataset",
+    "read_collection",
+    "read_groundtruth",
+    "select_best_attribute",
+    "text_volume",
+    "vocabulary_size",
+    "write_collection",
+    "write_groundtruth",
+]

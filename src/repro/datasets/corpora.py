@@ -1,0 +1,158 @@
+"""Vocabulary banks for the synthetic dataset generators.
+
+The paper's ten datasets cover four textual domains — restaurants,
+e-commerce products, bibliographic records and movies/TV shows.  The word
+banks below let the generators compose large, domain-flavoured vocabularies
+(names multiply combinatorially), which is what drives the token-frequency
+structure the filtering methods exploit: duplicates share rare tokens,
+non-duplicates share frequent/generic ones.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = [
+    "FIRST_NAMES",
+    "LAST_NAMES",
+    "RESTAURANT_ADJECTIVES",
+    "RESTAURANT_TYPES",
+    "CUISINES",
+    "STREET_NAMES",
+    "CITIES",
+    "BRANDS",
+    "PRODUCT_TYPES",
+    "PRODUCT_ADJECTIVES",
+    "PRODUCT_FEATURES",
+    "CS_TITLE_WORDS",
+    "VENUES",
+    "MEDIA_TITLE_WORDS",
+    "GENRES",
+    "FILLER_WORDS",
+]
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "chris",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kim", "paul", "emily",
+    "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy", "kevin",
+    "carol", "brian", "amanda", "george", "melissa", "edward", "deborah",
+)
+
+LAST_NAMES: Tuple[str, ...] = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts",
+)
+
+RESTAURANT_ADJECTIVES: Tuple[str, ...] = (
+    "golden", "blue", "silver", "royal", "little", "grand", "old", "new",
+    "happy", "lucky", "green", "red", "white", "black", "sunny", "corner",
+    "hidden", "rustic", "urban", "coastal", "mountain", "river", "garden",
+    "velvet", "copper", "iron", "crystal", "amber", "jade", "ivory",
+)
+
+RESTAURANT_TYPES: Tuple[str, ...] = (
+    "grill", "bistro", "cafe", "diner", "kitchen", "tavern", "brasserie",
+    "trattoria", "cantina", "steakhouse", "pizzeria", "bakery", "deli",
+    "eatery", "chophouse", "noodlehouse", "taqueria", "osteria", "gastropub",
+    "smokehouse",
+)
+
+CUISINES: Tuple[str, ...] = (
+    "italian", "french", "mexican", "chinese", "japanese", "thai", "indian",
+    "greek", "spanish", "korean", "vietnamese", "american", "cajun",
+    "mediterranean", "lebanese", "ethiopian", "peruvian", "turkish",
+    "moroccan", "brazilian",
+)
+
+STREET_NAMES: Tuple[str, ...] = (
+    "main", "oak", "pine", "maple", "cedar", "elm", "washington", "lake",
+    "hill", "park", "sunset", "ridge", "valley", "river", "church", "mill",
+    "spring", "center", "market", "union", "broadway", "highland", "franklin",
+    "jefferson", "lincoln", "madison", "monroe", "chestnut", "walnut",
+    "willow",
+)
+
+CITIES: Tuple[str, ...] = (
+    "springfield", "riverside", "fairview", "georgetown", "arlington",
+    "salem", "madison", "clinton", "ashland", "burlington", "dover",
+    "hudson", "kingston", "manchester", "milton", "newport", "oxford",
+    "princeton", "troy", "winchester",
+)
+
+BRANDS: Tuple[str, ...] = (
+    "sonacore", "veltron", "quantix", "aerolite", "maxwell", "nordtek",
+    "lumina", "pinnacle", "vertex", "solaris", "titanix", "omnitech",
+    "zephyr", "corelink", "dynavox", "silverline", "apexon", "brightway",
+    "neutron", "polarion", "kyotech", "fusionix", "stratos", "helixon",
+    "wavecrest", "ironclad", "summitek", "clearpath", "novabeam", "gridium",
+)
+
+PRODUCT_TYPES: Tuple[str, ...] = (
+    "laptop", "monitor", "keyboard", "mouse", "printer", "scanner",
+    "router", "headphones", "speaker", "camera", "projector", "tablet",
+    "charger", "adapter", "microphone", "webcam", "drive", "dock",
+    "toaster", "blender", "kettle", "vacuum", "heater", "fan", "lamp",
+    "drill", "sander", "grinder", "saw", "wrench",
+)
+
+PRODUCT_ADJECTIVES: Tuple[str, ...] = (
+    "wireless", "portable", "compact", "professional", "digital", "smart",
+    "ergonomic", "rechargeable", "adjustable", "foldable", "waterproof",
+    "ultra", "premium", "deluxe", "heavy", "duty", "cordless", "silent",
+    "rapid", "precision",
+)
+
+PRODUCT_FEATURES: Tuple[str, ...] = (
+    "bluetooth", "usb", "hdmi", "led", "lcd", "hd", "4k", "stereo", "bass",
+    "zoom", "autofocus", "backlit", "mechanical", "optical", "laser",
+    "touchscreen", "dualband", "gigabit", "noise", "cancelling",
+)
+
+CS_TITLE_WORDS: Tuple[str, ...] = (
+    "efficient", "scalable", "adaptive", "distributed", "parallel",
+    "incremental", "approximate", "optimal", "robust", "dynamic", "query",
+    "processing", "indexing", "mining", "learning", "clustering",
+    "classification", "retrieval", "integration", "resolution", "matching",
+    "similarity", "search", "join", "streams", "graphs", "databases",
+    "knowledge", "semantic", "probabilistic", "entity", "schema",
+    "optimization", "evaluation", "framework", "algorithms", "analysis",
+    "detection", "estimation", "aggregation", "sampling", "caching",
+    "transactions", "recovery", "privacy", "provenance", "crowdsourcing",
+    "embedding", "networks", "inference",
+)
+
+VENUES: Tuple[str, ...] = (
+    "sigmod", "vldb", "icde", "edbt", "cikm", "kdd", "www", "icdm", "pods",
+    "sigir", "acl", "ijcai", "aaai", "nips", "icml",
+)
+
+MEDIA_TITLE_WORDS: Tuple[str, ...] = (
+    "dark", "last", "first", "lost", "broken", "silent", "hidden", "final",
+    "rising", "falling", "eternal", "midnight", "crimson", "shadow",
+    "winter", "summer", "city", "house", "road", "river", "kingdom",
+    "empire", "legacy", "return", "revenge", "secret", "promise", "storm",
+    "fire", "ice", "moon", "star", "night", "day", "dream", "memory",
+    "stranger", "hunter", "guardian", "crown", "throne", "blood", "stone",
+    "glass", "paper", "iron", "golden", "savage", "wild", "forgotten",
+)
+
+GENRES: Tuple[str, ...] = (
+    "drama", "comedy", "thriller", "horror", "romance", "action",
+    "adventure", "mystery", "fantasy", "documentary", "western", "crime",
+    "animation", "biography", "musical",
+)
+
+FILLER_WORDS: Tuple[str, ...] = (
+    "with", "for", "and", "the", "of", "in", "new", "original", "edition",
+    "series", "classic", "special", "limited", "standard", "plus", "pro",
+    "mini", "max", "one", "two",
+)

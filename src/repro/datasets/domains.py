@@ -1,0 +1,273 @@
+"""Domain generators: canonical records for the four textual domains.
+
+A domain generator produces *canonical* entities — clean, fully-populated
+attribute maps; the dataset generator then renders two noisy views of each
+canonical entity to create the Clean-Clean ER inputs.
+
+Crucially, entities are drawn from **families** (product lines, sequels
+and spin-offs, restaurant chains, papers of one research group), so that
+every entity has confusable non-duplicate neighbours sharing most of its
+tokens.  This is what makes filtering on the paper's real datasets hard:
+the true match must be separated from siblings that differ only in a model
+variant, a sequel number or a city — without it every method trivially
+ranks the duplicate first and precision saturates.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from . import corpora
+
+__all__ = [
+    "Domain",
+    "RestaurantDomain",
+    "ProductDomain",
+    "BibliographicDomain",
+    "MediaDomain",
+    "DOMAINS",
+]
+
+Record = Dict[str, str]
+
+
+def _pick(rng: np.random.Generator, bank: Sequence) -> object:
+    return bank[int(rng.integers(len(bank)))]
+
+
+def _pick_many(
+    rng: np.random.Generator, bank: Sequence[str], count: int
+) -> Tuple[str, ...]:
+    indices = rng.choice(len(bank), size=min(count, len(bank)), replace=False)
+    return tuple(bank[int(i)] for i in indices)
+
+
+class Domain(abc.ABC):
+    """A source of canonical entities for one textual domain."""
+
+    #: The attribute the paper would select for schema-based settings.
+    key_attribute: str = "name"
+
+    #: Average number of entities sharing a family (confusability knob).
+    family_size: float = 4.0
+
+    def generate(self, rng: np.random.Generator, count: int) -> List[Record]:
+        """``count`` canonical records drawn from a bounded family pool."""
+        n_families = max(1, int(round(count / self.family_size)))
+        families = [self._family(rng) for __ in range(n_families)]
+        records = []
+        for __ in range(count):
+            family = families[int(rng.integers(n_families))]
+            records.append(self._member(rng, family))
+        return records
+
+    @abc.abstractmethod
+    def _family(self, rng: np.random.Generator) -> Dict[str, object]:
+        """Shared traits of one family of related entities."""
+
+    @abc.abstractmethod
+    def _member(
+        self, rng: np.random.Generator, family: Dict[str, object]
+    ) -> Record:
+        """One entity of the given family."""
+
+
+class RestaurantDomain(Domain):
+    """Restaurant descriptions, like the paper's D1 (OAEI restaurants).
+
+    Families are small chains: same name and cuisine, different city,
+    street and phone number.
+    """
+
+    key_attribute = "name"
+    family_size = 1.5
+
+    def _family(self, rng: np.random.Generator) -> Dict[str, object]:
+        name = (
+            f"{_pick(rng, corpora.RESTAURANT_ADJECTIVES)} "
+            f"{_pick(rng, corpora.LAST_NAMES)} "
+            f"{_pick(rng, corpora.RESTAURANT_TYPES)}"
+        )
+        return {"name": name, "cuisine": _pick(rng, corpora.CUISINES)}
+
+    def _member(
+        self, rng: np.random.Generator, family: Dict[str, object]
+    ) -> Record:
+        street_number = int(rng.integers(1, 9900))
+        return {
+            "name": str(family["name"]),
+            "address": (
+                f"{street_number} {_pick(rng, corpora.STREET_NAMES)} street"
+            ),
+            "city": str(_pick(rng, corpora.CITIES)),
+            "phone": (
+                f"{rng.integers(200, 999)} {rng.integers(200, 999)} "
+                f"{rng.integers(1000, 9999)}"
+            ),
+            "cuisine": str(family["cuisine"]),
+        }
+
+
+class ProductDomain(Domain):
+    """E-commerce products, like D2 (Abt-Buy), D3, D8 (Walmart-Amazon).
+
+    Families are product lines: same brand, line name and product type;
+    members differ only in a numeric variant, an adjective and one or two
+    feature words — the classic "32-inch vs 40-inch of the same TV"
+    confusion of real product feeds.
+    """
+
+    key_attribute = "title"
+    family_size = 4.0
+
+    _LINE_SYLLABLES = (
+        "xen", "vor", "tri", "neo", "pro", "ultra", "max", "eco", "aero",
+        "duo", "omni", "terra", "nova", "hyper", "core",
+    )
+
+    def _family(self, rng: np.random.Generator) -> Dict[str, object]:
+        line = (
+            f"{_pick(rng, self._LINE_SYLLABLES)}"
+            f"{_pick(rng, self._LINE_SYLLABLES)}"
+        )
+        return {
+            "brand": _pick(rng, corpora.BRANDS),
+            "line": line,
+            "type": _pick(rng, corpora.PRODUCT_TYPES),
+            "prefix": (
+                f"{chr(65 + int(rng.integers(26)))}"
+                f"{chr(65 + int(rng.integers(26)))}"
+            ),
+        }
+
+    def _member(
+        self, rng: np.random.Generator, family: Dict[str, object]
+    ) -> Record:
+        # Few variant values: siblings get near-identical model codes
+        # ("AB401" vs "AB402"), the hallmark confusion of product feeds.
+        variant = int(rng.integers(1, 6)) * 100 + int(rng.integers(3))
+        model = f"{family['prefix']}{variant}"
+        adjective = _pick(rng, corpora.PRODUCT_ADJECTIVES)
+        features = " ".join(_pick_many(rng, corpora.PRODUCT_FEATURES, 2))
+        title = (
+            f"{family['brand']} {family['line']} {adjective} "
+            f"{family['type']} {model}"
+        )
+        return {
+            "title": title,
+            "brand": str(family["brand"]),
+            "model": model,
+            "description": (
+                f"{adjective} {family['type']} with {features}"
+            ),
+            "price": (
+                f"{int(rng.integers(10, 2000))}.{int(rng.integers(100)):02d}"
+            ),
+        }
+
+
+class BibliographicDomain(Domain):
+    """Publication records, like D4 (DBLP-ACM) and D9 (DBLP-Scholar).
+
+    Families are research groups: a stable author pool and a topic of
+    recurring title words; members are individual papers that reuse both.
+    """
+
+    key_attribute = "title"
+    family_size = 3.0
+
+    def _family(self, rng: np.random.Generator) -> Dict[str, object]:
+        group = [
+            f"{_pick(rng, corpora.FIRST_NAMES)} {_pick(rng, corpora.LAST_NAMES)}"
+            for __ in range(4)
+        ]
+        topic = _pick_many(rng, corpora.CS_TITLE_WORDS, 6)
+        return {"group": group, "topic": topic}
+
+    def _member(
+        self, rng: np.random.Generator, family: Dict[str, object]
+    ) -> Record:
+        topic: Tuple[str, ...] = family["topic"]  # type: ignore[assignment]
+        # Titles reuse 3 topic words plus 2 fresh ones.
+        reused = _pick_many(rng, topic, 3)
+        fresh = _pick_many(rng, corpora.CS_TITLE_WORDS, 2)
+        title = " ".join(reused + fresh)
+        group: List[str] = family["group"]  # type: ignore[assignment]
+        author_count = int(rng.integers(1, 4))
+        authors = ", ".join(
+            str(_pick(rng, group)) for __ in range(author_count)
+        )
+        return {
+            "title": title,
+            "authors": authors,
+            "venue": str(_pick(rng, corpora.VENUES)),
+            "year": str(int(rng.integers(1995, 2023))),
+        }
+
+
+class MediaDomain(Domain):
+    """Movie / TV-show descriptions, like D5-D7 and D10.
+
+    Families are franchises: a base title shared by sequels and spin-offs,
+    a recurring cast pool and a fixed genre; members add a sequel number
+    or a subtitle word.
+    """
+
+    key_attribute = "title"
+    family_size = 3.5
+
+    _SUBTITLES = (
+        "returns", "rising", "reborn", "origins", "legacy", "forever",
+        "begins", "awakening", "reckoning", "redemption",
+    )
+
+    def _family(self, rng: np.random.Generator) -> Dict[str, object]:
+        base = " ".join(_pick_many(rng, corpora.MEDIA_TITLE_WORDS, 2))
+        cast = [
+            f"{_pick(rng, corpora.FIRST_NAMES)} {_pick(rng, corpora.LAST_NAMES)}"
+            for __ in range(6)
+        ]
+        return {
+            "base": base,
+            "cast": cast,
+            "genre": _pick(rng, corpora.GENRES),
+        }
+
+    def _member(
+        self, rng: np.random.Generator, family: Dict[str, object]
+    ) -> Record:
+        base = str(family["base"])
+        style = int(rng.integers(3))
+        if style == 0:
+            title = base
+        elif style == 1:
+            title = f"{base} {int(rng.integers(2, 6))}"
+        else:
+            title = f"{base} {_pick(rng, self._SUBTITLES)}"
+        cast: List[str] = family["cast"]  # type: ignore[assignment]
+        actor_count = int(rng.integers(2, 5))
+        actors = ", ".join(
+            str(_pick(rng, cast)) for __ in range(actor_count)
+        )
+        director = (
+            f"{_pick(rng, corpora.FIRST_NAMES)} {_pick(rng, corpora.LAST_NAMES)}"
+        )
+        return {
+            "title": title,
+            "director": director,
+            "actors": actors,
+            "genre": str(family["genre"]),
+            "year": str(int(rng.integers(1960, 2023))),
+        }
+
+
+#: Name -> instance registry for the four domains.
+DOMAINS: Dict[str, Domain] = {
+    "restaurant": RestaurantDomain(),
+    "product": ProductDomain(),
+    "bibliographic": BibliographicDomain(),
+    "media": MediaDomain(),
+}

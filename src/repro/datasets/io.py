@@ -1,0 +1,94 @@
+"""CSV persistence for entity collections and groundtruth files.
+
+The on-disk layout follows the common convention of the public ER
+benchmark datasets: one CSV per collection with an ``id`` column plus one
+column per attribute, and a two-column groundtruth CSV of matching id
+pairs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Tuple, Union
+
+from ..core.groundtruth import GroundTruth
+from ..core.profile import EntityCollection, EntityProfile
+
+__all__ = [
+    "write_collection",
+    "read_collection",
+    "write_groundtruth",
+    "read_groundtruth",
+]
+
+PathLike = Union[str, Path]
+
+
+def write_collection(collection: EntityCollection, path: PathLike) -> None:
+    """Write a collection as CSV: an ``id`` column plus attribute columns."""
+    path = Path(path)
+    attributes = list(collection.attribute_names)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id"] + attributes)
+        for profile in collection:
+            writer.writerow(
+                [profile.uid] + [profile.value(a) for a in attributes]
+            )
+
+
+def read_collection(path: PathLike, name: str = "") -> EntityCollection:
+    """Read a CSV written by :func:`write_collection`."""
+    path = Path(path)
+    collection = EntityCollection(name=name or path.stem)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header or header[0] != "id":
+            raise ValueError(f"{path}: expected an 'id' header column")
+        attributes = header[1:]
+        for row in reader:
+            if not row:
+                continue
+            values = {
+                attribute: value
+                for attribute, value in zip(attributes, row[1:])
+                if value
+            }
+            collection.add(EntityProfile(uid=row[0], attributes=values))
+    return collection
+
+
+def write_groundtruth(
+    groundtruth: GroundTruth,
+    left: EntityCollection,
+    right: EntityCollection,
+    path: PathLike,
+) -> None:
+    """Write groundtruth as a two-column CSV of (left uid, right uid)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["left_id", "right_id"])
+        for left_index, right_index in sorted(groundtruth):
+            writer.writerow([left[left_index].uid, right[right_index].uid])
+
+
+def read_groundtruth(
+    path: PathLike,
+    left: EntityCollection,
+    right: EntityCollection,
+) -> GroundTruth:
+    """Read a groundtruth CSV, resolving uids against the collections."""
+    path = Path(path)
+    pairs: List[Tuple[str, str]] = []
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if not header or len(header) < 2:
+            raise ValueError(f"{path}: expected a two-column header")
+        for row in reader:
+            if row:
+                pairs.append((row[0], row[1]))
+    return GroundTruth.from_uids(pairs, left, right)

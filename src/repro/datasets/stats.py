@@ -1,0 +1,137 @@
+"""Dataset statistics: the quantities behind Table VI and Figure 3.
+
+* best-attribute selection by coverage and distinctiveness (Section VI,
+  "Schema settings");
+* attribute coverage and groundtruth coverage (Figure 3a);
+* vocabulary size and overall character length per schema setting, with
+  and without cleaning (Figures 3b, 3c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.profile import EntityCollection
+from ..text.cleaning import TextCleaner
+from ..text.tokenizers import word_tokens
+from .generator import ERDataset
+
+__all__ = [
+    "AttributeStats",
+    "attribute_stats",
+    "select_best_attribute",
+    "vocabulary_size",
+    "character_length",
+    "TextVolume",
+    "text_volume",
+]
+
+
+@dataclass(frozen=True)
+class AttributeStats:
+    """Coverage and distinctiveness of one attribute over both collections."""
+
+    attribute: str
+    coverage: float
+    distinctiveness: float
+
+    @property
+    def score(self) -> float:
+        """The selection criterion: coverage weighted by distinctiveness."""
+        return self.coverage * self.distinctiveness
+
+
+def attribute_stats(dataset: ERDataset) -> List[AttributeStats]:
+    """Per-attribute stats pooled over both collections, best first."""
+    attributes = sorted(
+        set(dataset.left.attribute_names) | set(dataset.right.attribute_names)
+    )
+    total = len(dataset.left) + len(dataset.right)
+    stats = []
+    for attribute in attributes:
+        values = [
+            profile.value(attribute)
+            for collection in (dataset.left, dataset.right)
+            for profile in collection
+            if profile.has_value(attribute)
+        ]
+        coverage = len(values) / total if total else 0.0
+        distinctiveness = len(set(values)) / len(values) if values else 0.0
+        stats.append(
+            AttributeStats(
+                attribute=attribute,
+                coverage=coverage,
+                distinctiveness=distinctiveness,
+            )
+        )
+    stats.sort(key=lambda s: (-s.score, s.attribute))
+    return stats
+
+
+def select_best_attribute(dataset: ERDataset) -> str:
+    """The most suitable attribute for schema-based settings."""
+    stats = attribute_stats(dataset)
+    if not stats:
+        raise ValueError(f"dataset {dataset.name} has no attributes")
+    return stats[0].attribute
+
+
+def _texts(
+    dataset: ERDataset, attribute: Optional[str], cleaning: bool
+) -> List[str]:
+    texts = dataset.left.texts(attribute) + dataset.right.texts(attribute)
+    if cleaning:
+        cleaner = TextCleaner()
+        texts = [cleaner.clean(text) for text in texts]
+    return texts
+
+
+def vocabulary_size(
+    dataset: ERDataset,
+    attribute: Optional[str] = None,
+    cleaning: bool = False,
+) -> int:
+    """Total number of distinct tokens in the dataset's textual content."""
+    vocabulary = set()
+    for text in _texts(dataset, attribute, cleaning):
+        vocabulary.update(word_tokens(text))
+    return len(vocabulary)
+
+
+def character_length(
+    dataset: ERDataset,
+    attribute: Optional[str] = None,
+    cleaning: bool = False,
+) -> int:
+    """Total number of characters in the dataset's textual content."""
+    return sum(len(text) for text in _texts(dataset, attribute, cleaning))
+
+
+@dataclass(frozen=True)
+class TextVolume:
+    """The Figure-3 measurements for one dataset."""
+
+    vocabulary_agnostic: int
+    vocabulary_agnostic_clean: int
+    vocabulary_based: int
+    vocabulary_based_clean: int
+    characters_agnostic: int
+    characters_agnostic_clean: int
+    characters_based: int
+    characters_based_clean: int
+
+
+def text_volume(dataset: ERDataset, attribute: Optional[str] = None) -> TextVolume:
+    """Vocabulary size and character length across settings and cleaning."""
+    attribute = attribute or dataset.key_attribute
+    return TextVolume(
+        vocabulary_agnostic=vocabulary_size(dataset, None, False),
+        vocabulary_agnostic_clean=vocabulary_size(dataset, None, True),
+        vocabulary_based=vocabulary_size(dataset, attribute, False),
+        vocabulary_based_clean=vocabulary_size(dataset, attribute, True),
+        characters_agnostic=character_length(dataset, None, False),
+        characters_agnostic_clean=character_length(dataset, None, True),
+        characters_based=character_length(dataset, attribute, False),
+        characters_based_clean=character_length(dataset, attribute, True),
+    )

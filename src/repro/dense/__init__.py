@@ -1,0 +1,32 @@
+"""Dense vector-based NN methods: LSH families and kNN search."""
+
+from .autoencoder import Autoencoder
+from .base import DenseNNFilter
+from .crosspolytope import CrossPolytopeLSH, fwht
+from .deepblocker import DeepBlocker
+from .embeddings import EMBEDDING_DIM, HashedNGramEmbedder
+from .flat_index import FlatIndex
+from .hyperplane import HyperplaneLSH, probe_sequence
+from .knn_search import FaissKNN, ScannKNN, default_deepblocker
+from .minhash import MinHashLSH
+from .partitioned import PartitionedIndex, ProductQuantizer, kmeans
+
+__all__ = [
+    "EMBEDDING_DIM",
+    "Autoencoder",
+    "CrossPolytopeLSH",
+    "DeepBlocker",
+    "DenseNNFilter",
+    "FaissKNN",
+    "FlatIndex",
+    "HashedNGramEmbedder",
+    "HyperplaneLSH",
+    "MinHashLSH",
+    "PartitionedIndex",
+    "ProductQuantizer",
+    "ScannKNN",
+    "default_deepblocker",
+    "fwht",
+    "kmeans",
+    "probe_sequence",
+]

@@ -1,0 +1,93 @@
+"""Shared machinery of the dense NN filters (Figure 2 with embeddings).
+
+The dense methods share the preprocessing pipeline: optional cleaning,
+embedding of every entity's textual content into a fixed-size vector, then
+indexing one side and querying with the other.  Subclasses provide the
+index-and-query step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.candidates import CandidateSet
+from ..core.filters import Filter
+from ..core.profile import EntityCollection
+from ..text.cleaning import TextCleaner
+from .embeddings import HashedNGramEmbedder
+
+__all__ = ["DenseNNFilter"]
+
+
+class DenseNNFilter(Filter):
+    """Base class: cleaning -> embedding -> (index, query) -> candidates.
+
+    Parameters
+    ----------
+    cleaning:
+        Apply stop-word removal and stemming before embedding.
+    reverse:
+        The RVS flag: index ``E2``, query with ``E1``.
+    embedder:
+        Shared :class:`HashedNGramEmbedder`; pass one instance across
+        filters to share the n-gram cache (a large speed-up in grid searches).
+    """
+
+    def __init__(
+        self,
+        cleaning: bool = False,
+        reverse: bool = False,
+        embedder: Optional[HashedNGramEmbedder] = None,
+    ) -> None:
+        super().__init__()
+        self.cleaning = cleaning
+        self.reverse = reverse
+        self.embedder = embedder or HashedNGramEmbedder()
+        self._cleaner = TextCleaner()
+
+    def _embed(
+        self, collection: EntityCollection, attribute: Optional[str]
+    ) -> np.ndarray:
+        texts = collection.texts(attribute)
+        if self.cleaning:
+            texts = [self._cleaner.clean(text) for text in texts]
+        return self.embedder.embed_texts(texts)
+
+    def _run(
+        self,
+        left: EntityCollection,
+        right: EntityCollection,
+        attribute: Optional[str],
+    ) -> CandidateSet:
+        with self.timer.phase("preprocess"):
+            left_vectors = self._embed(left, attribute)
+            right_vectors = self._embed(right, attribute)
+        if self.reverse:
+            indexed, queries = right_vectors, left_vectors
+        else:
+            indexed, queries = left_vectors, right_vectors
+        pairs = self._index_and_query(indexed, queries)
+        candidates = CandidateSet()
+        for indexed_id, query_id in pairs:
+            if self.reverse:
+                candidates.add(query_id, indexed_id)
+            else:
+                candidates.add(indexed_id, query_id)
+        return candidates
+
+    def _index_and_query(
+        self, indexed: np.ndarray, queries: np.ndarray
+    ) -> Tuple[Tuple[int, int], ...]:
+        """Yield (indexed id, query id) pairs; must time its own phases."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        flags = []
+        if self.cleaning:
+            flags.append("clean")
+        if self.reverse:
+            flags.append("rvs")
+        suffix = f" [{','.join(flags)}]" if flags else ""
+        return f"{self.name}{suffix}"

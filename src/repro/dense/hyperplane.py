@@ -1,0 +1,151 @@
+"""Hyperplane LSH (Charikar, STOC 2002) with multi-probe querying.
+
+A vector is hashed by the signs of its projections onto random normal
+vectors: ``h(v) = sign(r . v)``, so two vectors collide with probability
+``1 - angle/pi``.  We concatenate ``hashes`` sign bits per table and use
+``tables`` independent tables; multi-probe additionally visits the buckets
+obtained by flipping the lowest-margin bits, in increasing total-margin
+order — the standard probing sequence, which is how FALCONN reaches a
+target recall without more tables.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.candidates import CandidateSet
+from .base import DenseNNFilter
+from .embeddings import HashedNGramEmbedder
+
+__all__ = ["HyperplaneLSH", "probe_sequence"]
+
+
+def probe_sequence(margins: np.ndarray, probes: int) -> List[Tuple[int, ...]]:
+    """The first ``probes`` bit-flip sets in increasing total-margin order.
+
+    ``margins`` holds the absolute projection value per bit — the cost of
+    flipping that bit.  The first element is always the empty set (the
+    exact bucket).  Uses the classic heap-based enumeration over sorted
+    margins.
+    """
+    order = np.argsort(margins, kind="stable")
+    sorted_margins = margins[order]
+    sequence: List[Tuple[int, ...]] = [()]
+    if probes <= 1 or not len(margins):
+        return sequence[:probes] if probes >= 1 else []
+    # Heap entries: (total_margin, positions-in-sorted-order tuple).
+    heap: List[Tuple[float, Tuple[int, ...]]] = [
+        (float(sorted_margins[0]), (0,))
+    ]
+    while heap and len(sequence) < probes:
+        total, positions = heapq.heappop(heap)
+        sequence.append(tuple(int(order[p]) for p in positions))
+        last = positions[-1]
+        if last + 1 < len(sorted_margins):
+            # "Shift": replace the last flipped bit with the next one.
+            shifted = positions[:-1] + (last + 1,)
+            heapq.heappush(
+                heap,
+                (
+                    total - float(sorted_margins[last]) + float(sorted_margins[last + 1]),
+                    shifted,
+                ),
+            )
+            # "Expand": additionally flip the next bit.
+            expanded = positions + (last + 1,)
+            heapq.heappush(
+                heap, (total + float(sorted_margins[last + 1]), expanded)
+            )
+    return sequence
+
+
+class HyperplaneLSH(DenseNNFilter):
+    """Multi-table, multi-probe hyperplane LSH over entity embeddings."""
+
+    name = "hp-lsh"
+
+    def __init__(
+        self,
+        tables: int = 10,
+        hashes: int = 12,
+        probes: Optional[int] = None,
+        cleaning: bool = False,
+        seed: int = 0,
+        embedder: Optional[HashedNGramEmbedder] = None,
+    ) -> None:
+        if tables < 1:
+            raise ValueError(f"tables must be positive, got {tables}")
+        if not 1 <= hashes <= 62:
+            raise ValueError(f"hashes must be in [1, 62], got {hashes}")
+        super().__init__(cleaning=cleaning, embedder=embedder)
+        self.tables = tables
+        self.hashes = hashes
+        # Default probing budget: the exact bucket plus one flip per bit,
+        # per table (FALCONN-style auto-tuning is approximated by the
+        # optimizer sweeping this parameter).
+        self.probes = probes if probes is not None else 1 + hashes
+        self.seed = seed
+
+    @property
+    def is_stochastic(self) -> bool:
+        return True
+
+    def reseed(self, seed: int) -> None:
+        self.seed = seed
+
+    def _projections(self, dim: int) -> List[np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        return [
+            rng.standard_normal((dim, self.hashes)).astype(np.float32)
+            for __ in range(self.tables)
+        ]
+
+    @staticmethod
+    def _keys(signs: np.ndarray) -> np.ndarray:
+        """Pack sign bits (n, hashes) into integer bucket keys (n,)."""
+        bits = (signs > 0).astype(np.int64)
+        keys = np.zeros(bits.shape[0], dtype=np.int64)
+        for column in range(bits.shape[1]):
+            keys = (keys << 1) | bits[:, column]
+        return keys
+
+    def _index_and_query(
+        self, indexed: np.ndarray, queries: np.ndarray
+    ) -> Tuple[Tuple[int, int], ...]:
+        dim = indexed.shape[1]
+        pairs = set()
+        with self.timer.phase("index"):
+            projections = self._projections(dim)
+            tables: List[Dict[int, List[int]]] = []
+            for projection in projections:
+                buckets: Dict[int, List[int]] = {}
+                keys = self._keys(indexed @ projection)
+                for entity, key in enumerate(keys):
+                    buckets.setdefault(int(key), []).append(entity)
+                tables.append(buckets)
+        with self.timer.phase("query"):
+            per_table_probes = max(1, self.probes // self.tables)
+            for projection, buckets in zip(projections, tables):
+                scores = queries @ projection
+                keys = self._keys(scores)
+                margins = np.abs(scores)
+                for query_id in range(queries.shape[0]):
+                    base_key = int(keys[query_id])
+                    for flips in probe_sequence(
+                        margins[query_id], per_table_probes
+                    ):
+                        key = base_key
+                        for bit in flips:
+                            key ^= 1 << (self.hashes - 1 - bit)
+                        for entity in buckets.get(key, ()):
+                            pairs.add((entity, query_id))
+        return tuple(pairs)
+
+    def describe(self) -> str:
+        return (
+            f"{super().describe()}(L={self.tables}, h={self.hashes}, "
+            f"probes={self.probes})"
+        )

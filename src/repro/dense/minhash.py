@@ -1,0 +1,167 @@
+"""MinHash LSH over character k-shingles (Section IV-D).
+
+Each entity's shingle set is summarized by a minhash signature — the
+minima of random permutations of the shingle universe, realized with
+universal hashing.  Signatures are split into ``bands`` bands of ``rows``
+rows; two entities collide (become a candidate pair) when they agree on
+all rows of at least one band.  The bands/rows split approximates a
+high-pass filter on Jaccard similarity with threshold roughly
+``(1/bands)^(1/rows)``.
+
+This is the only dense NN method in the paper with a *syntactic* scope:
+it never touches embeddings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.candidates import CandidateSet
+from ..core.filters import Filter
+from ..core.profile import EntityCollection
+from ..text.cleaning import TextCleaner
+from ..text.tokenizers import shingles
+
+__all__ = ["MinHashLSH"]
+
+# 2^31 - 1: small enough that a * x + b fits in uint64, large enough for
+# the shingle vocabularies of ER datasets.
+_MERSENNE_PRIME = (1 << 31) - 1
+
+
+def _token_hash(token: str) -> int:
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "little") % _MERSENNE_PRIME
+
+
+class MinHashLSH(Filter):
+    """Banded MinHash LSH filter.
+
+    Parameters
+    ----------
+    bands / rows:
+        The banding scheme; ``bands * rows`` is the signature length (the
+        paper uses powers of two with products in {128, 256, 512}).
+    shingle_k:
+        Character shingle length (the paper tries k in [2, 5]).
+    cleaning:
+        Apply stop-word removal and stemming first.
+    seed:
+        Seed of the random hash family — the source of the method's
+        stochasticity (Table II).
+    """
+
+    name = "mh-lsh"
+
+    def __init__(
+        self,
+        bands: int = 32,
+        rows: int = 8,
+        shingle_k: int = 3,
+        cleaning: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if bands < 1 or rows < 1:
+            raise ValueError("bands and rows must be positive")
+        if shingle_k < 1:
+            raise ValueError(f"shingle_k must be positive, got {shingle_k}")
+        super().__init__()
+        self.bands = bands
+        self.rows = rows
+        self.shingle_k = shingle_k
+        self.cleaning = cleaning
+        self.seed = seed
+        self._cleaner = TextCleaner()
+
+    @property
+    def is_stochastic(self) -> bool:
+        return True
+
+    def reseed(self, seed: int) -> None:
+        """Change the hash-family seed (used to average over repetitions)."""
+        self.seed = seed
+
+    @property
+    def num_permutations(self) -> int:
+        return self.bands * self.rows
+
+    @property
+    def approximate_threshold(self) -> float:
+        """The Jaccard level where the collision S-curve crosses over."""
+        return (1.0 / self.bands) ** (1.0 / self.rows)
+
+    # ------------------------------------------------------------------
+    # Signatures.
+    # ------------------------------------------------------------------
+
+    def _hash_family(self) -> Tuple[np.ndarray, np.ndarray]:
+        rng = np.random.default_rng(self.seed)
+        count = self.num_permutations
+        a = rng.integers(1, _MERSENNE_PRIME, size=count, dtype=np.uint64)
+        b = rng.integers(0, _MERSENNE_PRIME, size=count, dtype=np.uint64)
+        return a, b
+
+    def _signature(
+        self, tokens: FrozenSet[str], a: np.ndarray, b: np.ndarray
+    ) -> Optional[np.ndarray]:
+        if not tokens:
+            return None
+        hashes = np.fromiter(
+            (_token_hash(t) for t in tokens), dtype=np.uint64, count=len(tokens)
+        )
+        # (a * x + b) mod p; both factors are < 2^31 so uint64 cannot overflow.
+        products = (hashes[:, None] * a[None, :] + b[None, :]) % _MERSENNE_PRIME
+        return products.min(axis=0)
+
+    def _shingle_sets(
+        self, collection: EntityCollection, attribute: Optional[str]
+    ) -> List[FrozenSet[str]]:
+        texts = collection.texts(attribute)
+        if self.cleaning:
+            texts = [self._cleaner.clean(text) for text in texts]
+        return [frozenset(shingles(text, self.shingle_k)) for text in texts]
+
+    # ------------------------------------------------------------------
+    # Filtering.
+    # ------------------------------------------------------------------
+
+    def _run(
+        self,
+        left: EntityCollection,
+        right: EntityCollection,
+        attribute: Optional[str],
+    ) -> CandidateSet:
+        with self.timer.phase("preprocess"):
+            a, b = self._hash_family()
+            left_sets = self._shingle_sets(left, attribute)
+            right_sets = self._shingle_sets(right, attribute)
+            left_signatures = [self._signature(s, a, b) for s in left_sets]
+            right_signatures = [self._signature(s, a, b) for s in right_sets]
+        with self.timer.phase("index"):
+            buckets: Dict[Tuple[int, bytes], List[int]] = {}
+            for entity, signature in enumerate(left_signatures):
+                if signature is None:
+                    continue
+                for band in range(self.bands):
+                    chunk = signature[band * self.rows : (band + 1) * self.rows]
+                    buckets.setdefault((band, chunk.tobytes()), []).append(entity)
+        with self.timer.phase("query"):
+            candidates = CandidateSet()
+            for entity, signature in enumerate(right_signatures):
+                if signature is None:
+                    continue
+                for band in range(self.bands):
+                    chunk = signature[band * self.rows : (band + 1) * self.rows]
+                    for match in buckets.get((band, chunk.tobytes()), ()):
+                        candidates.add(match, entity)
+        return candidates
+
+    def describe(self) -> str:
+        flags = " [clean]" if self.cleaning else ""
+        return (
+            f"{self.name}(bands={self.bands}, rows={self.rows}, "
+            f"k={self.shingle_k}){flags}"
+        )

@@ -1,0 +1,13 @@
+"""Dirty ER (deduplication): self-join adapter and dataset generation."""
+
+from .adapter import clusters_to_groundtruth, dirty_candidates, evaluate_dirty
+from .generator import DirtyDataset, DirtyDatasetSpec, generate_dirty
+
+__all__ = [
+    "DirtyDataset",
+    "DirtyDatasetSpec",
+    "clusters_to_groundtruth",
+    "dirty_candidates",
+    "evaluate_dirty",
+    "generate_dirty",
+]

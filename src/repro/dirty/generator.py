@@ -1,0 +1,110 @@
+"""Synthetic dirty (deduplication) dataset generation.
+
+A dirty dataset is one collection containing duplicate *clusters*: the
+same canonical record rendered several times with independent noise.
+Reuses the Clean-Clean domains and noise model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.groundtruth import GroundTruth
+from ..core.profile import EntityCollection, EntityProfile
+from ..datasets.domains import DOMAINS
+from ..datasets.generator import render_view
+from ..datasets.noise import NoiseProfile, TextNoiser
+from .adapter import clusters_to_groundtruth
+
+__all__ = ["DirtyDatasetSpec", "DirtyDataset", "generate_dirty"]
+
+
+@dataclass(frozen=True)
+class DirtyDatasetSpec:
+    """Recipe for one dirty dataset.
+
+    ``cluster_sizes`` gives the multiplicities of the duplicated records;
+    all remaining records appear once.  E.g. ``size=100`` with
+    ``cluster_sizes=(3, 2, 2)`` yields 96 unique records plus one
+    triplicated and two duplicated ones.
+    """
+
+    name: str
+    domain: str
+    size: int
+    cluster_sizes: Tuple[int, ...]
+    seed: int
+    noise: NoiseProfile = field(default_factory=NoiseProfile)
+    misplace_target: str = "description"
+
+    def __post_init__(self) -> None:
+        if self.domain not in DOMAINS:
+            raise ValueError(f"unknown domain {self.domain!r}")
+        if any(size < 2 for size in self.cluster_sizes):
+            raise ValueError("cluster sizes must be >= 2")
+        if sum(self.cluster_sizes) > self.size:
+            raise ValueError("clusters cannot exceed the collection size")
+
+
+@dataclass(frozen=True)
+class DirtyDataset:
+    """A generated dirty dataset: one collection plus pair groundtruth."""
+
+    spec: DirtyDatasetSpec
+    collection: EntityCollection
+    clusters: Tuple[Tuple[int, ...], ...]
+    groundtruth: GroundTruth
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+def generate_dirty(spec: DirtyDatasetSpec) -> DirtyDataset:
+    """Materialize the dirty dataset described by ``spec``."""
+    domain = DOMAINS[spec.domain]
+    rng = np.random.default_rng(spec.seed)
+    n_duplicated = len(spec.cluster_sizes)
+    n_unique = spec.size - sum(spec.cluster_sizes)
+    canonicals = domain.generate(rng, n_duplicated + n_unique)
+    noiser = TextNoiser(spec.noise, np.random.default_rng(spec.seed + 1))
+
+    collection = EntityCollection(name=spec.name)
+    clusters: List[Tuple[int, ...]] = []
+    counter = 0
+    for cluster_index, multiplicity in enumerate(spec.cluster_sizes):
+        members = []
+        for __ in range(multiplicity):
+            attributes = render_view(
+                canonicals[cluster_index],
+                domain.key_attribute,
+                spec.misplace_target,
+                noiser,
+                filler="copy",
+            )
+            collection.add(
+                EntityProfile(uid=f"e{counter}", attributes=attributes)
+            )
+            members.append(counter)
+            counter += 1
+        clusters.append(tuple(members))
+    for index in range(n_duplicated, n_duplicated + n_unique):
+        attributes = render_view(
+            canonicals[index],
+            domain.key_attribute,
+            spec.misplace_target,
+            noiser,
+            filler="copy",
+        )
+        collection.add(EntityProfile(uid=f"e{counter}", attributes=attributes))
+        counter += 1
+
+    return DirtyDataset(
+        spec=spec,
+        collection=collection,
+        clusters=tuple(clusters),
+        groundtruth=clusters_to_groundtruth(clusters),
+    )

@@ -1,0 +1,14 @@
+"""Verification and clustering: the ER stages after filtering."""
+
+from .clustering import connected_components, unique_mapping
+from .matchers import ScoredPair, SimilarityMatcher
+from .pipeline import ERPipeline, ERResult
+
+__all__ = [
+    "ERPipeline",
+    "ERResult",
+    "ScoredPair",
+    "SimilarityMatcher",
+    "connected_components",
+    "unique_mapping",
+]

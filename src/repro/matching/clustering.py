@@ -1,0 +1,70 @@
+"""Clustering of matched pairs into entity groups (Section I).
+
+Some ER pipelines refine the matcher's pairwise decisions with a
+clustering step.  Two standard algorithms for Clean-Clean ER:
+
+* :func:`connected_components` — transitive closure of the match graph;
+* :func:`unique_mapping` — greedy 1-1 assignment: Clean-Clean inputs are
+  individually duplicate-free, so each entity can match at most one
+  entity on the other side; pairs are accepted best-score-first while
+  both endpoints are unassigned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .matchers import ScoredPair
+
+__all__ = ["connected_components", "unique_mapping"]
+
+
+def connected_components(pairs: Sequence[ScoredPair]) -> List[Set[Tuple[str, int]]]:
+    """Transitive closure over the bipartite match graph.
+
+    Nodes are tagged ``("L", id)`` / ``("R", id)`` so the two id spaces
+    cannot collide.  Returns the connected components as sets of tagged
+    nodes (singletons are omitted).
+    """
+    parent: Dict[Tuple[str, int], Tuple[str, int]] = {}
+
+    def find(node):
+        root = node
+        while parent.setdefault(root, root) != root:
+            root = parent[root]
+        while parent[node] != root:  # path compression
+            parent[node], node = root, parent[node]
+        return root
+
+    def union(a, b):
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[rb] = ra
+
+    for left_id, right_id, __ in pairs:
+        union(("L", left_id), ("R", right_id))
+    components: Dict[Tuple[str, int], Set[Tuple[str, int]]] = {}
+    for node in parent:
+        components.setdefault(find(node), set()).add(node)
+    return [group for group in components.values() if len(group) > 1]
+
+
+def unique_mapping(pairs: Sequence[ScoredPair]) -> List[ScoredPair]:
+    """Greedy best-first 1-1 assignment for Clean-Clean ER.
+
+    Accept pairs in decreasing score order while both entities are still
+    unmatched — the standard "unique mapping clustering".  Ties break on
+    the ids for determinism.
+    """
+    taken_left: Set[int] = set()
+    taken_right: Set[int] = set()
+    accepted: List[ScoredPair] = []
+    for left_id, right_id, score in sorted(
+        pairs, key=lambda p: (-p[2], p[0], p[1])
+    ):
+        if left_id in taken_left or right_id in taken_right:
+            continue
+        taken_left.add(left_id)
+        taken_right.add(right_id)
+        accepted.append((left_id, right_id, score))
+    return accepted

@@ -1,0 +1,91 @@
+"""Verification (matching): deciding which candidate pairs are duplicates.
+
+The paper's Filtering-Verification framework (Section I) follows every
+filter with a *matching* step that examines each candidate pair.  The
+benchmark itself stops at filtering, but a usable ER library needs the
+second stage, so this module provides the classic unsupervised matcher
+family the paper describes as "early attempts": similarity functions
+compared against thresholds.  It also demonstrates the paper's central
+premise — filtering recall caps end-to-end recall, because matching only
+ever sees the candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.candidates import CandidateSet
+from ..core.profile import EntityCollection
+from ..sparse.similarity import similarity_function
+from ..text.tokenizers import RepresentationModel
+
+__all__ = ["ScoredPair", "SimilarityMatcher"]
+
+ScoredPair = Tuple[int, int, float]
+
+
+class SimilarityMatcher:
+    """Rule-based matcher: token-set similarity against a threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Pairs scoring at or above it are declared matches.
+    model / measure:
+        Token representation (Table IV codes) and similarity measure used
+        to score a pair's textual content.
+    attribute:
+        Score only this attribute's values (None = all values).
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        model: str = "C3G",
+        measure: str = "cosine",
+        attribute: Optional[str] = None,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        self.threshold = threshold
+        self.model = RepresentationModel(model)
+        self.measure = similarity_function(measure)
+        self.attribute = attribute
+
+    def score(
+        self,
+        candidates: CandidateSet,
+        left: EntityCollection,
+        right: EntityCollection,
+    ) -> List[ScoredPair]:
+        """Similarity score of every candidate pair (unfiltered)."""
+        left_tokens: Dict[int, frozenset] = {}
+        right_tokens: Dict[int, frozenset] = {}
+        scored: List[ScoredPair] = []
+        for left_id, right_id in candidates:
+            if left_id not in left_tokens:
+                left_tokens[left_id] = self.model.tokens(
+                    left[left_id].text(self.attribute)
+                )
+            if right_id not in right_tokens:
+                right_tokens[right_id] = self.model.tokens(
+                    right[right_id].text(self.attribute)
+                )
+            a = left_tokens[left_id]
+            b = right_tokens[right_id]
+            similarity = self.measure(len(a), len(b), len(a & b))
+            scored.append((left_id, right_id, similarity))
+        return scored
+
+    def match(
+        self,
+        candidates: CandidateSet,
+        left: EntityCollection,
+        right: EntityCollection,
+    ) -> List[ScoredPair]:
+        """The candidate pairs passing the threshold, scored."""
+        return [
+            pair
+            for pair in self.score(candidates, left, right)
+            if pair[2] >= self.threshold
+        ]

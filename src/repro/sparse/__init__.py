@@ -1,0 +1,35 @@
+"""Sparse vector-based NN methods: set-similarity joins over token sets."""
+
+from .base import SparseNNFilter
+from .epsilon_join import EpsilonJoin
+from .knn_join import DefaultKNNJoin, KNNJoin, default_knn_join
+from .prefix_joins import AllPairsJoin, PPJoin, TokenOrder
+from .scancount import ScanCountIndex
+from .similarity import (
+    SIMILARITY_MEASURES,
+    cosine,
+    dice,
+    jaccard,
+    set_similarity,
+    similarity_function,
+)
+from .topk_join import TopKJoin
+
+__all__ = [
+    "SIMILARITY_MEASURES",
+    "AllPairsJoin",
+    "DefaultKNNJoin",
+    "EpsilonJoin",
+    "KNNJoin",
+    "PPJoin",
+    "ScanCountIndex",
+    "TokenOrder",
+    "SparseNNFilter",
+    "TopKJoin",
+    "cosine",
+    "default_knn_join",
+    "dice",
+    "jaccard",
+    "set_similarity",
+    "similarity_function",
+]

@@ -1,0 +1,110 @@
+"""Shared machinery of the sparse NN filters (Figure 2's workflow).
+
+Both ε-Join and kNN-Join share the same pipeline: optional cleaning
+(stop-word removal + stemming), tokenization under a representation model,
+indexing of one collection with ScanCount, then a query per entity of the
+other collection.  This module factors that pipeline out.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..core.candidates import CandidateSet
+from ..core.filters import Filter
+from ..core.profile import EntityCollection
+from ..text.cleaning import TextCleaner
+from ..text.tokenizers import RepresentationModel
+from .scancount import ScanCountIndex
+from .similarity import similarity_function
+
+__all__ = ["SparseNNFilter"]
+
+
+class SparseNNFilter(Filter):
+    """Base class for set-similarity-join filters.
+
+    Parameters
+    ----------
+    model:
+        Representation model code (``T1G`` ... ``C5GM``, Table IV).
+    measure:
+        ``cosine``, ``dice`` or ``jaccard``.
+    cleaning:
+        Apply stop-word removal and stemming before tokenization.
+    reverse:
+        The paper's RVS flag: index ``E2`` and use ``E1`` as the query set
+        instead of the opposite.  Only meaningful for the cardinality-based
+        joins; the range join is symmetric in its output.
+    """
+
+    def __init__(
+        self,
+        model: str = "T1G",
+        measure: str = "cosine",
+        cleaning: bool = False,
+        reverse: bool = False,
+    ) -> None:
+        super().__init__()
+        self.model = RepresentationModel(model)
+        self.measure_name = measure.lower()
+        self.measure = similarity_function(measure)
+        self.cleaning = cleaning
+        self.reverse = reverse
+        self._cleaner = TextCleaner()
+
+    def _token_sets(
+        self, collection: EntityCollection, attribute: Optional[str]
+    ) -> List[FrozenSet[str]]:
+        texts = collection.texts(attribute)
+        if self.cleaning:
+            texts = [self._cleaner.clean(text) for text in texts]
+        return [self.model.tokens(text) for text in texts]
+
+    def _run(
+        self,
+        left: EntityCollection,
+        right: EntityCollection,
+        attribute: Optional[str],
+    ) -> CandidateSet:
+        with self.timer.phase("preprocess"):
+            left_sets = self._token_sets(left, attribute)
+            right_sets = self._token_sets(right, attribute)
+        if self.reverse:
+            indexed, queries = right_sets, left_sets
+        else:
+            indexed, queries = left_sets, right_sets
+        with self.timer.phase("index"):
+            index = ScanCountIndex(indexed)
+        with self.timer.phase("query"):
+            candidates = CandidateSet()
+            for query_id, query in enumerate(queries):
+                for indexed_id in self._select(index, query):
+                    if self.reverse:
+                        candidates.add(query_id, indexed_id)
+                    else:
+                        candidates.add(indexed_id, query_id)
+        return candidates
+
+    def _select(self, index: ScanCountIndex, query: FrozenSet[str]) -> List[int]:
+        """Indexed ids selected for one query set — join-type specific."""
+        raise NotImplementedError
+
+    def _scored(
+        self, index: ScanCountIndex, query: FrozenSet[str]
+    ) -> List[Tuple[float, int]]:
+        """(similarity, indexed id) for every set overlapping the query."""
+        query_size = len(query)
+        return [
+            (self.measure(index.size_of(set_id), query_size, overlap), set_id)
+            for set_id, overlap in index.overlaps(query).items()
+        ]
+
+    def describe(self) -> str:
+        flags = []
+        if self.cleaning:
+            flags.append("clean")
+        if self.reverse:
+            flags.append("rvs")
+        suffix = f" [{','.join(flags)}]" if flags else ""
+        return f"{self.name}({self.model.code},{self.measure_name}){suffix}"

@@ -1,0 +1,44 @@
+"""Range join (ε-Join): pair all entities with similarity >= ε.
+
+This is the similarity-threshold sparse NN method of the paper.  All exact
+ε-Join algorithms produce the identical candidate set; we use ScanCount
+because ER requires *low* thresholds where prefix-filter techniques lose
+their advantage (Section IV-C).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List
+
+from .base import SparseNNFilter
+from .scancount import ScanCountIndex
+
+__all__ = ["EpsilonJoin"]
+
+
+class EpsilonJoin(SparseNNFilter):
+    """Similarity-threshold join over token sets."""
+
+    name = "e-join"
+
+    def __init__(
+        self,
+        threshold: float,
+        model: str = "T1G",
+        measure: str = "cosine",
+        cleaning: bool = False,
+    ) -> None:
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        super().__init__(model=model, measure=measure, cleaning=cleaning)
+        self.threshold = threshold
+
+    def _select(self, index: ScanCountIndex, query: FrozenSet[str]) -> List[int]:
+        return [
+            set_id
+            for similarity, set_id in self._scored(index, query)
+            if similarity >= self.threshold
+        ]
+
+    def describe(self) -> str:
+        return f"{super().describe()} t={self.threshold:.2f}"

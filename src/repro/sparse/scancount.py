@@ -1,0 +1,56 @@
+"""The ScanCount algorithm (Li, Lu and Lu, ICDE 2008).
+
+ScanCount answers set-overlap queries with an inverted index: every token
+maps to the posting list of indexed sets containing it; a query performs a
+merge-count over the posting lists of its own tokens, producing the exact
+overlap with every indexed set that shares at least one token.
+
+The paper picks ScanCount for the sparse NN methods because, unlike
+prefix-filter joins, its cost does not degrade at the *low* similarity
+thresholds that ER requires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence
+
+__all__ = ["ScanCountIndex"]
+
+
+class ScanCountIndex:
+    """Inverted index over token sets supporting exact overlap counting."""
+
+    def __init__(self, token_sets: Sequence[FrozenSet[str]]) -> None:
+        self._sizes: List[int] = [len(tokens) for tokens in token_sets]
+        self._postings: Dict[str, List[int]] = {}
+        for set_id, tokens in enumerate(token_sets):
+            for token in tokens:
+                self._postings.setdefault(token, []).append(set_id)
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def size_of(self, set_id: int) -> int:
+        """Cardinality of the indexed set ``set_id``."""
+        return self._sizes[set_id]
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def overlaps(self, query: FrozenSet[str]) -> Dict[int, int]:
+        """Exact overlap of ``query`` with every indexed set sharing a token.
+
+        Sets sharing no token are absent from the result (overlap 0).
+        """
+        counts: Dict[int, int] = {}
+        for token in query:
+            for set_id in self._postings.get(token, ()):
+                counts[set_id] = counts.get(set_id, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScanCountIndex(sets={len(self)}, "
+            f"vocabulary={self.vocabulary_size})"
+        )

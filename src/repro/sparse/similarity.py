@@ -1,0 +1,67 @@
+"""Set-similarity measures of Section IV-C, computed from overlap counts.
+
+All three measures are normalized to [0, 1]:
+
+* cosine  C(A, B) = |A n B| / sqrt(|A| * |B|)
+* dice    D(A, B) = 2 |A n B| / (|A| + |B|)
+* jaccard J(A, B) = |A n B| / |A u B|
+
+The functions take the set sizes and the overlap, which is how the
+ScanCount index produces them — the token sets themselves never need to be
+materialized again at query time.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, FrozenSet, Tuple
+
+__all__ = [
+    "cosine",
+    "dice",
+    "jaccard",
+    "similarity_function",
+    "set_similarity",
+    "SIMILARITY_MEASURES",
+]
+
+SIMILARITY_MEASURES: Tuple[str, ...] = ("cosine", "dice", "jaccard")
+
+
+def cosine(size_a: int, size_b: int, overlap: int) -> float:
+    """Cosine similarity of two sets from sizes and overlap."""
+    if size_a == 0 or size_b == 0:
+        return 0.0
+    return overlap / math.sqrt(size_a * size_b)
+
+
+def dice(size_a: int, size_b: int, overlap: int) -> float:
+    """Dice similarity of two sets from sizes and overlap."""
+    if size_a + size_b == 0:
+        return 0.0
+    return 2.0 * overlap / (size_a + size_b)
+
+
+def jaccard(size_a: int, size_b: int, overlap: int) -> float:
+    """Jaccard coefficient of two sets from sizes and overlap."""
+    union = size_a + size_b - overlap
+    if union == 0:
+        return 0.0
+    return overlap / union
+
+
+_BY_NAME = {"cosine": cosine, "dice": dice, "jaccard": jaccard}
+
+
+def similarity_function(name: str) -> Callable[[int, int, int], float]:
+    """The measure named ``name`` (case-insensitive)."""
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown similarity measure {name!r}") from None
+
+
+def set_similarity(a: FrozenSet[str], b: FrozenSet[str], measure: str) -> float:
+    """Similarity of two explicit token sets (convenience / testing)."""
+    overlap = len(a & b)
+    return similarity_function(measure)(len(a), len(b), overlap)

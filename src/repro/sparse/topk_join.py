@@ -1,0 +1,73 @@
+"""Global top-k set similarity join (Section IV-C discussion).
+
+Unlike the kNN-Join, which performs a *local* join (at least k pairs per
+query entity), the top-k join is *global*: it returns the k entity pairs
+with the highest similarities among all pairs of the two collections.  It
+is equivalent to an ε-Join whose threshold equals the k-th highest pair
+similarity.  The paper discusses but does not benchmark it; we provide it
+for the ablation benches.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+from ..core.candidates import CandidateSet
+from ..core.profile import EntityCollection
+from .base import SparseNNFilter
+from .scancount import ScanCountIndex
+
+__all__ = ["TopKJoin"]
+
+
+class TopKJoin(SparseNNFilter):
+    """Return the k globally best-weighted pairs (ties at the cut kept)."""
+
+    name = "topk-join"
+
+    def __init__(
+        self,
+        k: int,
+        model: str = "T1G",
+        measure: str = "cosine",
+        cleaning: bool = False,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        super().__init__(model=model, measure=measure, cleaning=cleaning)
+        self.k = k
+
+    def _run(
+        self,
+        left: EntityCollection,
+        right: EntityCollection,
+        attribute: Optional[str],
+    ) -> CandidateSet:
+        with self.timer.phase("preprocess"):
+            left_sets = self._token_sets(left, attribute)
+            right_sets = self._token_sets(right, attribute)
+        with self.timer.phase("index"):
+            index = ScanCountIndex(left_sets)
+        with self.timer.phase("query"):
+            heap: List[Tuple[float, int, int]] = []
+            for right_id, query in enumerate(right_sets):
+                for similarity, left_id in self._scored(index, query):
+                    entry = (similarity, left_id, right_id)
+                    if len(heap) < self.k:
+                        heapq.heappush(heap, entry)
+                    elif entry > heap[0]:
+                        heapq.heapreplace(heap, entry)
+            candidates = CandidateSet()
+            if heap:
+                cutoff = heap[0][0]
+                # Re-scan to keep ties at the cutoff, matching the e-Join
+                # equivalence the paper describes.
+                for right_id, query in enumerate(right_sets):
+                    for similarity, left_id in self._scored(index, query):
+                        if similarity >= cutoff:
+                            candidates.add(left_id, right_id)
+        return candidates
+
+    def describe(self) -> str:
+        return f"{super().describe()} k={self.k}"

@@ -1,0 +1,35 @@
+"""Text substrate: tokenization, stop-words, stemming, cleaning."""
+
+from .cleaning import TextCleaner, clean_text, clean_texts
+from .porter import PorterStemmer, stem
+from .stopwords import ENGLISH_STOPWORDS, is_stopword
+from .tokenizers import (
+    REPRESENTATION_MODELS,
+    RepresentationModel,
+    character_qgrams,
+    multiset_tokens,
+    normalize,
+    shingles,
+    token_qgrams,
+    tokenize,
+    word_tokens,
+)
+
+__all__ = [
+    "ENGLISH_STOPWORDS",
+    "REPRESENTATION_MODELS",
+    "PorterStemmer",
+    "RepresentationModel",
+    "TextCleaner",
+    "character_qgrams",
+    "clean_text",
+    "clean_texts",
+    "is_stopword",
+    "multiset_tokens",
+    "normalize",
+    "shingles",
+    "stem",
+    "token_qgrams",
+    "tokenize",
+    "word_tokens",
+]

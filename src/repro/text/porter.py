@@ -1,0 +1,213 @@
+"""Porter stemming algorithm, implemented from the original 1980 paper.
+
+Replaces nltk's ``PorterStemmer`` for the "cleaning" preprocessing step of
+NN methods (stop-word removal + stemming).  This is the classic algorithm
+(M.F. Porter, "An algorithm for suffix stripping", Program 14(3), 1980)
+with the standard five steps; it intentionally omits nltk's extra
+"martin-mode" departures so the behaviour is the published one.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer", "stem"]
+
+_VOWELS = "aeiou"
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; use :meth:`stem` on lowercase-ish words."""
+
+    # ------------------------------------------------------------------
+    # Measure and shape predicates on the stem (the word minus a suffix).
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        char = word[i]
+        if char in _VOWELS:
+            return False
+        if char == "y":
+            return i == 0 or not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @classmethod
+    def _measure(cls, stem: str) -> int:
+        """The m value: number of VC sequences in the stem."""
+        m = 0
+        previous_was_vowel = False
+        for i in range(len(stem)):
+            is_cons = cls._is_consonant(stem, i)
+            if is_cons and previous_was_vowel:
+                m += 1
+            previous_was_vowel = not is_cons
+        return m
+
+    @classmethod
+    def _contains_vowel(cls, stem: str) -> bool:
+        return any(not cls._is_consonant(stem, i) for i in range(len(stem)))
+
+    @classmethod
+    def _ends_double_consonant(cls, word: str) -> bool:
+        return (
+            len(word) >= 2
+            and word[-1] == word[-2]
+            and cls._is_consonant(word, len(word) - 1)
+        )
+
+    @classmethod
+    def _ends_cvc(cls, word: str) -> bool:
+        """*o: stem ends cvc where the last c is not w, x or y."""
+        if len(word) < 3:
+            return False
+        return (
+            cls._is_consonant(word, len(word) - 3)
+            and not cls._is_consonant(word, len(word) - 2)
+            and cls._is_consonant(word, len(word) - 1)
+            and word[-1] not in "wxy"
+        )
+
+    # ------------------------------------------------------------------
+    # Rule application helper.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _replace(cls, word: str, suffix: str, replacement: str, m_min: int) -> str:
+        """Apply rule ``(m > m_min) suffix -> replacement`` if it fits."""
+        stem = word[: len(word) - len(suffix)]
+        if cls._measure(stem) > m_min:
+            return stem + replacement
+        return word
+
+    # ------------------------------------------------------------------
+    # The five steps.
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _step1a(cls, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    @classmethod
+    def _step1b(cls, word: str) -> str:
+        if word.endswith("eed"):
+            stem = word[:-3]
+            if cls._measure(stem) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and cls._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and cls._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if cls._ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if cls._measure(word) == 1 and cls._ends_cvc(word):
+                return word + "e"
+        return word
+
+    @classmethod
+    def _step1c(cls, word: str) -> str:
+        if word.endswith("y") and cls._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_RULES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+        ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+        ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+        ("biliti", "ble"),
+    )
+
+    _STEP3_RULES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    @classmethod
+    def _step2(cls, word: str) -> str:
+        for suffix, replacement in cls._STEP2_RULES:
+            if word.endswith(suffix):
+                return cls._replace(word, suffix, replacement, 0)
+        return word
+
+    @classmethod
+    def _step3(cls, word: str) -> str:
+        for suffix, replacement in cls._STEP3_RULES:
+            if word.endswith(suffix):
+                return cls._replace(word, suffix, replacement, 0)
+        return word
+
+    @classmethod
+    def _step4(cls, word: str) -> str:
+        for suffix in cls._STEP4_SUFFIXES:
+            if word.endswith(suffix):
+                stem = word[: len(word) - len(suffix)]
+                if cls._measure(stem) > 1:
+                    return stem
+                return word
+        if word.endswith("ion"):
+            stem = word[:-3]
+            if stem and stem[-1] in "st" and cls._measure(stem) > 1:
+                return stem
+        return word
+
+    @classmethod
+    def _step5a(cls, word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = cls._measure(stem)
+            if m > 1 or (m == 1 and not cls._ends_cvc(stem)):
+                return stem
+        return word
+
+    @classmethod
+    def _step5b(cls, word: str) -> str:
+        if (
+            word.endswith("ll")
+            and cls._measure(word[:-1]) > 1
+        ):
+            return word[:-1]
+        return word
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (lowercased first)."""
+        word = word.lower()
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Module-level convenience wrapper around a shared stemmer."""
+    return _DEFAULT.stem(word)

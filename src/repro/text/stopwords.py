@@ -1,0 +1,37 @@
+"""English stop-word list.
+
+Replaces the nltk stop-word corpus used by the paper's NN preprocessing
+(Figure 2, "cleaning").  The list below is the standard 179-word English
+list shipped with nltk 3.x, reproduced verbatim so that cleaning behaves
+identically.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+__all__ = ["ENGLISH_STOPWORDS", "is_stopword"]
+
+ENGLISH_STOPWORDS: FrozenSet[str] = frozenset(
+    """
+    i me my myself we our ours ourselves you you're you've you'll you'd
+    your yours yourself yourselves he him his himself she she's her hers
+    herself it it's its itself they them their theirs themselves what
+    which who whom this that that'll these those am is are was were be
+    been being have has had having do does did doing a an the and but if
+    or because as until while of at by for with about against between
+    into through during before after above below to from up down in out
+    on off over under again further then once here there when where why
+    how all any both each few more most other some such no nor not only
+    own same so than too very s t can will just don don't should
+    should've now d ll m o re ve y ain aren aren't couldn couldn't didn
+    didn't doesn doesn't hadn hadn't hasn hasn't haven haven't isn isn't
+    ma mightn mightn't mustn mustn't needn needn't shan shan't shouldn
+    shouldn't wasn wasn't weren weren't won won't wouldn wouldn't
+    """.split()
+)
+
+
+def is_stopword(token: str) -> bool:
+    """True when ``token`` (case-insensitively) is an English stop-word."""
+    return token.lower() in ENGLISH_STOPWORDS

@@ -1,0 +1,106 @@
+"""Configuration optimization (Problem 1) per method family.
+
+The entry point for benchmark code is :func:`tune_method`, which maps the
+paper's method acronyms to the family-specific tuners:
+
+========  =============================================
+acronym   method
+========  =============================================
+SBW       Standard Blocking workflow
+QBW       Q-Grams Blocking workflow
+EQBW      Extended Q-Grams Blocking workflow
+SABW      Suffix Arrays Blocking workflow
+ESABW     Extended Suffix Arrays Blocking workflow
+EJ        ε-Join (range join)
+kNNJ      kNN-Join
+MH-LSH    MinHash LSH
+HP-LSH    Hyperplane LSH
+CP-LSH    Cross-Polytope LSH
+FAISS     exact kNN search (Flat index)
+SCANN     partitioned kNN search
+DB        DeepBlocker (autoencoder tuple embeddings)
+========  =============================================
+
+Baselines (PBW, DBW, DkNN, DDB) are evaluated — not tuned — through
+:func:`repro.tuning.baselines.evaluate_baseline`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.optimizer import DEFAULT_RECALL_TARGET
+from ..datasets.generator import ERDataset
+from .baselines import BASELINES, evaluate_baseline, make_baseline
+from .blocking import WORKFLOW_NAMES, BlockingWorkflowTuner, make_builder
+from .dense import EmbeddingCache, KNNSearchTuner, LSHTuner
+from .result import TunedResult, better
+from .sparse import EpsilonJoinTuner, KNNJoinTuner, tokenize_collection
+
+__all__ = [
+    "BASELINES",
+    "FINE_TUNED_METHODS",
+    "BlockingWorkflowTuner",
+    "EmbeddingCache",
+    "EpsilonJoinTuner",
+    "KNNJoinTuner",
+    "KNNSearchTuner",
+    "LSHTuner",
+    "TunedResult",
+    "WORKFLOW_NAMES",
+    "better",
+    "evaluate_baseline",
+    "make_baseline",
+    "make_builder",
+    "tokenize_collection",
+    "tune_method",
+]
+
+#: The 13 fine-tuned methods of Table VII, in the paper's row order.
+FINE_TUNED_METHODS = (
+    "SBW", "QBW", "EQBW", "SABW", "ESABW",
+    "EJ", "kNNJ",
+    "MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB",
+)
+
+_LSH_CODES = {"MH-LSH": "mh-lsh", "HP-LSH": "hp-lsh", "CP-LSH": "cp-lsh"}
+_KNN_CODES = {"FAISS": "faiss", "SCANN": "scann", "DB": "deepblocker"}
+
+
+def tune_method(
+    method: str,
+    dataset: ERDataset,
+    attribute: Optional[str] = None,
+    target_recall: float = DEFAULT_RECALL_TARGET,
+    profile: str = "",
+    cache: Optional[EmbeddingCache] = None,
+) -> TunedResult:
+    """Run Problem-1 optimization for one method on one dataset/setting."""
+    if method in WORKFLOW_NAMES:
+        tuner = BlockingWorkflowTuner(
+            method, target_recall=target_recall, profile=profile
+        )
+        return tuner.tune(dataset, attribute)
+    if method == "EJ":
+        return EpsilonJoinTuner(
+            target_recall=target_recall, profile=profile
+        ).tune(dataset, attribute)
+    if method == "kNNJ":
+        return KNNJoinTuner(
+            target_recall=target_recall, profile=profile
+        ).tune(dataset, attribute)
+    if method in _LSH_CODES:
+        return LSHTuner(
+            _LSH_CODES[method],
+            target_recall=target_recall,
+            profile=profile,
+            cache=cache,
+        ).tune(dataset, attribute)
+    if method in _KNN_CODES:
+        return KNNSearchTuner(
+            _KNN_CODES[method],
+            target_recall=target_recall,
+            profile=profile,
+            cache=cache,
+        ).tune(dataset, attribute)
+    raise ValueError(f"unknown method {method!r}")

@@ -1,0 +1,71 @@
+"""The four baseline methods with default parameters (Section VI).
+
+* PBW — parameter-free blocking workflow (Standard Blocking + Block
+  Purging + Comparison Propagation).
+* DBW — the best default blocking configuration of prior work (Q-Grams
+  q=6, Block Filtering 0.5, WEP+ECBS Meta-blocking).
+* DkNN — default kNN-Join (cosine, cleaning, C5GM, K=5, smaller side as
+  query set).
+* DDB — default DeepBlocker (cleaning, K=5, smaller side as query set).
+
+Baselines need no tuning; :func:`evaluate_baseline` runs them once (or
+averaged, for the stochastic DDB) and reports the same quantities as a
+:class:`~repro.tuning.result.TunedResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..blocking.workflow import default_workflow, parameter_free_workflow
+from ..core.filters import Filter
+from ..core.optimizer import DEFAULT_RECALL_TARGET, GridSearchOptimizer
+from ..datasets.generator import ERDataset
+from ..dense.knn_search import default_deepblocker
+from ..sparse.knn_join import default_knn_join
+from .result import TunedResult
+
+__all__ = ["BASELINES", "make_baseline", "evaluate_baseline"]
+
+BASELINES = ("PBW", "DBW", "DkNN", "DDB")
+
+
+def make_baseline(name: str) -> Filter:
+    """Instantiate a baseline by canonical name."""
+    upper = name.upper()
+    if upper == "PBW":
+        return parameter_free_workflow()
+    if upper == "DBW":
+        return default_workflow()
+    if upper == "DKNN":
+        return default_knn_join()
+    if upper == "DDB":
+        return default_deepblocker()
+    raise ValueError(f"unknown baseline {name!r}")
+
+
+def evaluate_baseline(
+    name: str,
+    dataset: ERDataset,
+    attribute: Optional[str] = None,
+    target_recall: float = DEFAULT_RECALL_TARGET,
+    repetitions: int = 3,
+) -> TunedResult:
+    """Evaluate one baseline; the result's ``params`` are its defaults."""
+    filter_ = make_baseline(name)
+    optimizer = GridSearchOptimizer(
+        target_recall=target_recall, repetitions=repetitions
+    )
+    evaluation = optimizer.evaluate(filter_, dataset, attribute)
+    runtime = optimizer.measure_runtime(filter_, dataset, attribute)
+    params: Dict[str, object] = {"default": filter_.describe()}
+    return TunedResult(
+        method=name.upper() if name.upper() != "DKNN" else "DkNN",
+        params=params,
+        pc=evaluation.pc,
+        pq=evaluation.pq,
+        candidates=evaluation.candidates,
+        runtime=runtime,
+        feasible=evaluation.pc >= target_recall,
+        configurations_tried=1,
+    )

@@ -1,0 +1,66 @@
+"""The output of configuration optimization (Problem 1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["TunedResult", "better"]
+
+
+@dataclass
+class TunedResult:
+    """Best configuration of one method on one dataset/setting.
+
+    Attributes
+    ----------
+    method:
+        Canonical method name (e.g. ``"SBW"``, ``"kNNJ"``).
+    params:
+        The winning parameter assignment.
+    pc / pq:
+        Pair completeness and pairs quality at the winning configuration.
+    candidates:
+        Size of the candidate set.
+    runtime:
+        End-to-end run-time (seconds) of one filter invocation at the
+        winning configuration, measured after the search.
+    feasible:
+        True when PC reached the recall target; when no configuration is
+        feasible the result holds the highest-PC configuration instead,
+        mirroring the paper's red-marked entries.
+    configurations_tried:
+        Number of configurations the grid search evaluated.
+    """
+
+    method: str
+    params: Dict[str, object] = field(default_factory=dict)
+    pc: float = 0.0
+    pq: float = 0.0
+    candidates: int = 0
+    runtime: float = 0.0
+    feasible: bool = False
+    configurations_tried: int = 0
+
+    def describe_params(self) -> str:
+        """Short ``key=value`` rendering of the winning parameters."""
+        return ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+
+
+def better(
+    current: Optional[TunedResult],
+    challenger: TunedResult,
+) -> TunedResult:
+    """Pick the better of two results under Problem 1's objective.
+
+    A feasible result beats an infeasible one; among feasible results the
+    higher PQ wins; among infeasible ones the higher PC wins (so the
+    reported fallback is the closest miss).
+    """
+    if current is None:
+        return challenger
+    if challenger.feasible != current.feasible:
+        return challenger if challenger.feasible else current
+    if challenger.feasible:
+        return challenger if challenger.pq > current.pq else current
+    return challenger if challenger.pc > current.pc else current

@@ -1,0 +1,228 @@
+"""Configuration spaces per filtering method (Tables III, IV and V).
+
+Two profiles are provided:
+
+* ``"full"`` — the paper's grids (thousands of configurations; hours of
+  single-core compute on the larger datasets).
+* ``"fast"`` — a representative sub-grid covering every parameter's range
+  with fewer points, intended for the shipped benchmark suite.  The
+  *structure* of the search (which parameters interact, which sweeps
+  terminate early) is identical in both profiles.
+
+Select the profile globally through the ``REPRO_TUNING_PROFILE``
+environment variable or per call.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "active_profile",
+    "block_filtering_ratios",
+    "builder_grid",
+    "representation_models",
+    "similarity_measures",
+    "epsilon_thresholds",
+    "knn_k_values",
+    "dense_k_values",
+    "minhash_grid",
+    "hyperplane_grid",
+    "crosspolytope_grid",
+    "weighting_schemes",
+    "pruning_algorithms",
+]
+
+_VALID_PROFILES = ("fast", "full")
+
+
+def active_profile(profile: str = "") -> str:
+    """Resolve the tuning profile (argument > env var > ``"fast"``)."""
+    resolved = profile or os.environ.get("REPRO_TUNING_PROFILE", "fast")
+    if resolved not in _VALID_PROFILES:
+        raise ValueError(
+            f"profile must be one of {_VALID_PROFILES}, got {resolved!r}"
+        )
+    return resolved
+
+
+# ----------------------------------------------------------------------
+# Blocking workflows (Table III).
+# ----------------------------------------------------------------------
+
+def block_filtering_ratios(profile: str = "") -> List[float]:
+    """Block Filtering ratios, 1.0 meaning 'step disabled'."""
+    if active_profile(profile) == "full":
+        return [round(r, 3) for r in np.arange(1.0, 0.024, -0.025)]
+    return [1.0, 0.8, 0.6, 0.4, 0.2]
+
+
+def weighting_schemes(profile: str = "") -> Tuple[str, ...]:
+    from ..blocking.metablocking import WEIGHTING_SCHEMES
+
+    return WEIGHTING_SCHEMES
+
+
+def pruning_algorithms(profile: str = "") -> Tuple[str, ...]:
+    from ..blocking.metablocking import PRUNING_ALGORITHMS
+
+    return PRUNING_ALGORITHMS
+
+
+def builder_grid(builder: str, profile: str = "") -> List[Dict[str, object]]:
+    """Block-building parameter grids per workflow (Table III)."""
+    full = active_profile(profile) == "full"
+    if builder == "standard":
+        return [{}]
+    if builder == "qgrams":
+        qs = range(2, 7) if full else (3, 5)
+        return [{"q": q} for q in qs]
+    if builder == "extended-qgrams":
+        qs = range(2, 7) if full else (3,)
+        ts = (
+            [0.80, 0.85, 0.90, 0.95] if full else [0.85, 0.95]
+        )
+        return [{"q": q, "t": t} for q in qs for t in ts]
+    if builder in ("suffix-arrays", "extended-suffix-arrays"):
+        if full:
+            l_mins = range(2, 7)
+            b_maxes = range(2, 101)
+        else:
+            l_mins = (3, 4)
+            b_maxes = (12, 40, 100)
+        return [
+            {"l_min": l_min, "b_max": b_max}
+            for l_min in l_mins
+            for b_max in b_maxes
+        ]
+    raise ValueError(f"unknown builder {builder!r}")
+
+
+# ----------------------------------------------------------------------
+# Sparse NN methods (Table IV).
+# ----------------------------------------------------------------------
+
+def representation_models(profile: str = "") -> Sequence[str]:
+    from ..text.tokenizers import REPRESENTATION_MODELS
+
+    if active_profile(profile) == "full":
+        return REPRESENTATION_MODELS
+    return ("T1G", "C3G", "C3GM", "C5G", "C5GM")
+
+
+def similarity_measures(profile: str = "") -> Sequence[str]:
+    if active_profile(profile) == "full":
+        return ("cosine", "dice", "jaccard")
+    return ("cosine", "jaccard")
+
+
+def epsilon_thresholds(profile: str = "") -> List[float]:
+    """Similarity thresholds swept from high to low."""
+    if active_profile(profile) == "full":
+        return [round(t, 2) for t in np.arange(1.0, -0.001, -0.01)]
+    return [round(t, 2) for t in np.arange(1.0, -0.001, -0.02)]
+
+
+def knn_k_values(profile: str = "") -> List[int]:
+    """kNN-Join cardinalities, swept from small to large."""
+    if active_profile(profile) == "full":
+        return list(range(1, 101))
+    return list(range(1, 51))
+
+
+# ----------------------------------------------------------------------
+# Dense NN methods (Table V).
+# ----------------------------------------------------------------------
+
+def dense_k_values(profile: str = "") -> List[int]:
+    """Cardinalities for FAISS/SCANN/DeepBlocker, ascending.
+
+    The paper uses [1, 100] step 1, [105, 1000] step 5, [1010, 5000]
+    step 10; the fast profile coarsens the two upper ranges.
+    """
+    if active_profile(profile) == "full":
+        return (
+            list(range(1, 101))
+            + list(range(105, 1001, 5))
+            + list(range(1010, 5001, 10))
+        )
+    return list(range(1, 101)) + list(range(110, 1001, 30))
+
+
+def minhash_grid(profile: str = "") -> List[Dict[str, object]]:
+    """MinHash LSH: bands x rows (powers of two, product in {128,256,512})
+    and shingle size k in [2, 5]."""
+    if active_profile(profile) == "full":
+        layouts = []
+        for product in (128, 256, 512):
+            bands = 2
+            while bands <= product:
+                rows = product // bands
+                if bands * rows == product and rows >= 1:
+                    layouts.append((bands, rows))
+                bands *= 2
+        ks = (2, 3, 4, 5)
+    else:
+        layouts = [(128, 2), (64, 4), (32, 8)]
+        ks = (3, 5)
+    return [
+        {"bands": bands, "rows": rows, "shingle_k": k, "cleaning": cleaning}
+        for bands, rows in layouts
+        for k in ks
+        for cleaning in (False, True)
+    ]
+
+
+def hyperplane_grid(profile: str = "") -> List[Dict[str, object]]:
+    """Hyperplane LSH: #tables (powers of two), #hashes in [1, 20]."""
+    if active_profile(profile) == "full":
+        tables = [2**n for n in range(0, 10)]
+        hashes = list(range(1, 21))
+        probe_factors = (1, 4, 16)
+    else:
+        tables = (8, 32)
+        hashes = (10, 16)
+        probe_factors = (1, 4)
+    return [
+        {
+            "tables": t,
+            "hashes": h,
+            "probes": t * factor,
+            "cleaning": cleaning,
+        }
+        for t in tables
+        for h in hashes
+        for factor in probe_factors
+        for cleaning in (False, True)
+    ]
+
+
+def crosspolytope_grid(profile: str = "") -> List[Dict[str, object]]:
+    """Cross-Polytope LSH: #tables, #hashes, last cp dimension, probes."""
+    if active_profile(profile) == "full":
+        tables = [2**n for n in range(0, 10)]
+        hashes = (1, 2, 3)
+        cp_dims = [2**n for n in range(4, 10)]
+        probe_factors = (1, 2)
+    else:
+        tables = (8, 32)
+        hashes = (1, 2)
+        cp_dims = (512,)
+        probe_factors = (1, 2)
+    return [
+        {
+            "tables": t,
+            "hashes": h,
+            "last_cp_dimension": cp,
+            "probes": t * factor,
+            "cleaning": cleaning,
+        }
+        for t in tables
+        for h in hashes
+        for cp in cp_dims
+        for factor in probe_factors
+        for cleaning in (False, True)
+    ]

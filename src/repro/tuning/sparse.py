@@ -1,0 +1,316 @@
+"""Configuration optimization of the sparse NN methods (Table IV).
+
+Both joins share the preprocessing grid (cleaning x representation model);
+the tuners tokenize each combination once, run one ScanCount pass over the
+queries, and derive the whole threshold/cardinality sweep from it:
+
+* ε-Join — the feasible threshold with maximal PQ is the largest t with
+  PC >= τ, i.e. the ceil(τ |D|)-th highest duplicate similarity, snapped
+  down to the paper's 0.01 grid; the candidate count at t is obtained by a
+  counting pass, never materializing the pairs.
+* kNN-Join — ranks are converted to distinct-similarity ranks; the sweep
+  over k uses cumulative histograms, and stops at the first feasible k
+  (the paper's early termination), which also maximizes PQ.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.optimizer import DEFAULT_RECALL_TARGET, GridSearchOptimizer
+from ..datasets.generator import ERDataset
+from ..sparse.epsilon_join import EpsilonJoin
+from ..sparse.knn_join import KNNJoin
+from ..sparse.scancount import ScanCountIndex
+from ..sparse.similarity import similarity_function
+from ..text.cleaning import TextCleaner
+from ..text.tokenizers import RepresentationModel
+from . import spaces
+from .result import TunedResult, better
+
+__all__ = ["EpsilonJoinTuner", "KNNJoinTuner", "tokenize_collection"]
+
+
+def tokenize_collection(
+    texts: Sequence[str], model: str, cleaning: bool
+) -> List[FrozenSet[str]]:
+    """Token sets of a list of texts under one preprocessing combination."""
+    if cleaning:
+        cleaner = TextCleaner()
+        texts = [cleaner.clean(text) for text in texts]
+    representation = RepresentationModel(model)
+    return [representation.tokens(text) for text in texts]
+
+
+def _snap_down(threshold: float, step: float = 0.01) -> float:
+    """Snap a threshold down to the paper's grid (guarantees PC >= τ)."""
+    return max(0.01, math.floor(threshold / step) * step)
+
+
+class EpsilonJoinTuner:
+    """Problem-1 tuner for the range join."""
+
+    method = "e-join"
+
+    def __init__(
+        self,
+        target_recall: float = DEFAULT_RECALL_TARGET,
+        profile: str = "",
+    ) -> None:
+        self.target_recall = target_recall
+        self.profile = spaces.active_profile(profile)
+
+    def tune(
+        self, dataset: ERDataset, attribute: Optional[str] = None
+    ) -> TunedResult:
+        size1, size2 = len(dataset.left), len(dataset.right)
+        duplicates = list(dataset.groundtruth)
+        needed = math.ceil(self.target_recall * len(duplicates))
+        best: Optional[TunedResult] = None
+        tried = 0
+        measures = spaces.similarity_measures(self.profile)
+        for cleaning in (False, True):
+            left_texts = dataset.left.texts(attribute)
+            right_texts = dataset.right.texts(attribute)
+            for model in spaces.representation_models(self.profile):
+                left_sets = tokenize_collection(left_texts, model, cleaning)
+                right_sets = tokenize_collection(right_texts, model, cleaning)
+                index = ScanCountIndex(left_sets)
+                # Duplicate similarities per measure -> feasible thresholds.
+                thresholds: Dict[str, Optional[float]] = {}
+                for measure in measures:
+                    func = similarity_function(measure)
+                    sims = sorted(
+                        (
+                            func(
+                                len(left_sets[i]),
+                                len(right_sets[j]),
+                                len(left_sets[i] & right_sets[j]),
+                            )
+                            for i, j in duplicates
+                        ),
+                        reverse=True,
+                    )
+                    if needed == 0 or (
+                        len(sims) >= needed and sims[needed - 1] > 0.0
+                    ):
+                        thresholds[measure] = _snap_down(
+                            sims[needed - 1] if needed else 1.0
+                        )
+                    else:
+                        thresholds[measure] = None  # infeasible combo
+                # One counting pass serves every measure.
+                counts = {m: 0 for m in measures}
+                found = {m: 0 for m in measures}
+                funcs = {m: similarity_function(m) for m in measures}
+                active = [m for m in measures if thresholds[m] is not None]
+                if active:
+                    for j, query in enumerate(right_sets):
+                        query_size = len(query)
+                        for i, overlap in index.overlaps(query).items():
+                            indexed_size = index.size_of(i)
+                            for measure in active:
+                                sim = funcs[measure](
+                                    indexed_size, query_size, overlap
+                                )
+                                if sim >= thresholds[measure]:
+                                    counts[measure] += 1
+                                    if (i, j) in dataset.groundtruth:
+                                        found[measure] += 1
+                for measure in measures:
+                    tried += 1
+                    threshold = thresholds[measure]
+                    if threshold is None:
+                        continue
+                    total = counts[measure]
+                    pc = (
+                        found[measure] / len(duplicates) if duplicates else 0.0
+                    )
+                    pq = found[measure] / total if total else 0.0
+                    best = better(
+                        best,
+                        TunedResult(
+                            method=self.method,
+                            params={
+                                "cleaning": cleaning,
+                                "model": model,
+                                "measure": measure,
+                                "threshold": threshold,
+                            },
+                            pc=pc,
+                            pq=pq,
+                            candidates=total,
+                            feasible=pc >= self.target_recall,
+                        ),
+                    )
+        if best is None:
+            best = TunedResult(method=self.method, feasible=False)
+        best.configurations_tried = tried
+        if best.params:
+            best.runtime = GridSearchOptimizer(
+                self.target_recall
+            ).measure_runtime(self.build_filter(best.params), dataset, attribute)
+        return best
+
+    def build_filter(self, params: Dict[str, object]) -> EpsilonJoin:
+        return EpsilonJoin(
+            threshold=float(params["threshold"]),
+            model=str(params["model"]),
+            measure=str(params["measure"]),
+            cleaning=bool(params["cleaning"]),
+        )
+
+
+class KNNJoinTuner:
+    """Problem-1 tuner for the kNN join."""
+
+    method = "knn-join"
+
+    def __init__(
+        self,
+        target_recall: float = DEFAULT_RECALL_TARGET,
+        profile: str = "",
+    ) -> None:
+        self.target_recall = target_recall
+        self.profile = spaces.active_profile(profile)
+
+    def tune(
+        self, dataset: ERDataset, attribute: Optional[str] = None
+    ) -> TunedResult:
+        size1, size2 = len(dataset.left), len(dataset.right)
+        best: Optional[TunedResult] = None
+        tried = 0
+        k_values = spaces.knn_k_values(self.profile)
+        k_max = max(k_values)
+        measures = spaces.similarity_measures(self.profile)
+        for cleaning in (False, True):
+            for reverse in (False, True):
+                if reverse:
+                    indexed_texts = dataset.right.texts(attribute)
+                    query_texts = dataset.left.texts(attribute)
+                    gt_pairs = [(j, i) for i, j in dataset.groundtruth]
+                else:
+                    indexed_texts = dataset.left.texts(attribute)
+                    query_texts = dataset.right.texts(attribute)
+                    gt_pairs = list(dataset.groundtruth)
+                gt_by_query: Dict[int, List[int]] = {}
+                for indexed_id, query_id in gt_pairs:
+                    gt_by_query.setdefault(query_id, []).append(indexed_id)
+                for model in spaces.representation_models(self.profile):
+                    indexed_sets = tokenize_collection(
+                        indexed_texts, model, cleaning
+                    )
+                    query_sets = tokenize_collection(
+                        query_texts, model, cleaning
+                    )
+                    index = ScanCountIndex(indexed_sets)
+                    for measure in measures:
+                        result = self._sweep(
+                            index,
+                            indexed_sets,
+                            query_sets,
+                            gt_by_query,
+                            len(dataset.groundtruth),
+                            measure,
+                            k_values,
+                            k_max,
+                            size1,
+                            size2,
+                        )
+                        tried += len(k_values)
+                        if result is None:
+                            continue
+                        k, pc, pq, candidates = result
+                        best = better(
+                            best,
+                            TunedResult(
+                                method=self.method,
+                                params={
+                                    "cleaning": cleaning,
+                                    "reverse": reverse,
+                                    "model": model,
+                                    "measure": measure,
+                                    "k": k,
+                                },
+                                pc=pc,
+                                pq=pq,
+                                candidates=candidates,
+                                feasible=pc >= self.target_recall,
+                            ),
+                        )
+        if best is None:
+            best = TunedResult(method=self.method, feasible=False)
+        best.configurations_tried = tried
+        if best.params:
+            best.runtime = GridSearchOptimizer(
+                self.target_recall
+            ).measure_runtime(self.build_filter(best.params), dataset, attribute)
+        return best
+
+    def _sweep(
+        self,
+        index: ScanCountIndex,
+        indexed_sets: List[FrozenSet[str]],
+        query_sets: List[FrozenSet[str]],
+        gt_by_query: Dict[int, List[int]],
+        total_duplicates: int,
+        measure: str,
+        k_values: List[int],
+        k_max: int,
+        size1: int,
+        size2: int,
+    ) -> Optional[Tuple[int, float, float, int]]:
+        """Evaluate all k at once; return the first feasible (k, pc, pq, |C|).
+
+        Uses the join's tie semantics: a candidate's rank is the number of
+        *distinct similarity values* at or above its own.
+        """
+        func = similarity_function(measure)
+        # cumulative candidate counts and duplicate hits per distinct rank.
+        count_hist = np.zeros(k_max + 1, dtype=np.int64)
+        dup_hist = np.zeros(k_max + 1, dtype=np.int64)
+        for query_id, query in enumerate(query_sets):
+            query_size = len(query)
+            scored = [
+                (func(index.size_of(i), query_size, overlap), i)
+                for i, overlap in index.overlaps(query).items()
+            ]
+            if not scored:
+                continue
+            scored.sort(key=lambda item: (-item[0], item[1]))
+            matches = set(gt_by_query.get(query_id, ()))
+            rank = 0
+            previous = None
+            for similarity, indexed_id in scored:
+                if similarity != previous:
+                    rank += 1
+                    previous = similarity
+                    if rank > k_max:
+                        break
+                count_hist[rank] += 1
+                if indexed_id in matches:
+                    dup_hist[rank] += 1
+        counts = np.cumsum(count_hist)
+        duplicates = np.cumsum(dup_hist)
+        for k in k_values:
+            pc = duplicates[k] / total_duplicates if total_duplicates else 0.0
+            if pc >= self.target_recall:
+                pq = duplicates[k] / counts[k] if counts[k] else 0.0
+                return k, float(pc), float(pq), int(counts[k])
+        # Infeasible: report the largest k as the closest miss.
+        k = k_values[-1]
+        pc = duplicates[k] / total_duplicates if total_duplicates else 0.0
+        pq = duplicates[k] / counts[k] if counts[k] else 0.0
+        return k, float(pc), float(pq), int(counts[k])
+
+    def build_filter(self, params: Dict[str, object]) -> KNNJoin:
+        return KNNJoin(
+            k=int(params["k"]),
+            model=str(params["model"]),
+            measure=str(params["measure"]),
+            cleaning=bool(params["cleaning"]),
+            reverse=bool(params["reverse"]),
+        )

@@ -1,0 +1,88 @@
+"""Shared fixtures: small hand-built collections and a tiny dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.groundtruth import GroundTruth
+from repro.core.profile import EntityCollection, EntityProfile
+from repro.datasets.generator import DatasetSpec, ERDataset, generate
+from repro.datasets.noise import NoiseProfile
+
+
+@pytest.fixture()
+def left_collection() -> EntityCollection:
+    """Four product-like profiles for E1."""
+    return EntityCollection(
+        [
+            EntityProfile(
+                "a0", {"title": "sonacore ultra laptop X100", "brand": "sonacore"}
+            ),
+            EntityProfile(
+                "a1", {"title": "veltron compact mouse M20", "brand": "veltron"}
+            ),
+            EntityProfile(
+                "a2", {"title": "quantix wireless router R7", "brand": "quantix"}
+            ),
+            EntityProfile(
+                "a3", {"title": "sonacore ultra laptop X200", "brand": "sonacore"}
+            ),
+        ],
+        name="left",
+    )
+
+
+@pytest.fixture()
+def right_collection() -> EntityCollection:
+    """Four noisy counterparts for E2 (a0<->b0, a1<->b1, a2<->b2 match)."""
+    return EntityCollection(
+        [
+            EntityProfile(
+                "b0", {"title": "sonacore ultra laptop X100 edition"}
+            ),
+            EntityProfile("b1", {"title": "veltron compact mouse M20"}),
+            EntityProfile("b2", {"title": "quantix wireles router R7"}),
+            EntityProfile("b3", {"title": "aerolite digital camera C5"}),
+        ],
+        name="right",
+    )
+
+
+@pytest.fixture()
+def groundtruth() -> GroundTruth:
+    return GroundTruth([(0, 0), (1, 1), (2, 2)])
+
+
+@pytest.fixture()
+def tiny_dataset(left_collection, right_collection, groundtruth) -> ERDataset:
+    """A hand-built ERDataset around the two fixtures above."""
+    spec = DatasetSpec(
+        name="tiny",
+        domain="product",
+        size1=4,
+        size2=4,
+        duplicates=3,
+        seed=1,
+    )
+    return ERDataset(
+        spec=spec,
+        left=left_collection,
+        right=right_collection,
+        groundtruth=groundtruth,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_generated() -> ERDataset:
+    """A small generated dataset, shared across the whole session."""
+    spec = DatasetSpec(
+        name="small",
+        domain="product",
+        size1=60,
+        size2=80,
+        duplicates=40,
+        seed=7,
+        noise1=NoiseProfile(typo_rate=0.1, token_drop_rate=0.1),
+        noise2=NoiseProfile(typo_rate=0.15, token_drop_rate=0.1),
+    )
+    return generate(spec)

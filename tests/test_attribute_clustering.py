@@ -1,0 +1,96 @@
+"""Tests for Attribute Clustering Blocking."""
+
+import pytest
+
+from repro.blocking.attribute_clustering import AttributeClusteringBlocking
+from repro.blocking.building import StandardBlocking
+from repro.core.metrics import pair_completeness
+from repro.core.profile import EntityCollection, EntityProfile
+
+
+@pytest.fixture()
+def misaligned_schemas():
+    """Two collections describing the same people with different
+    attribute names; a shared token ('salem') appears in unrelated
+    attributes to create cross-attribute noise."""
+    left = EntityCollection(
+        [
+            EntityProfile("a0", {"fullname": "maria salem", "town": "dover"}),
+            EntityProfile("a1", {"fullname": "john baker", "town": "salem"}),
+        ]
+    )
+    right = EntityCollection(
+        [
+            EntityProfile("b0", {"person": "maria salem", "city": "dover"}),
+            EntityProfile("b1", {"person": "john baker", "city": "salem"}),
+        ]
+    )
+    return left, right
+
+
+class TestClustering:
+    def test_aligned_attributes_share_cluster(self, misaligned_schemas):
+        left, right = misaligned_schemas
+        clusters = AttributeClusteringBlocking().cluster_attributes(left, right)
+        assert clusters[(0, "fullname")] == clusters[(1, "person")]
+        assert clusters[(0, "town")] == clusters[(1, "city")]
+        assert clusters[(0, "fullname")] != clusters[(0, "town")]
+
+    def test_unlinked_attributes_fall_into_glue_cluster(self):
+        left = EntityCollection([EntityProfile("a", {"x": "alpha beta"})])
+        right = EntityCollection([EntityProfile("b", {"y": "gamma delta"})])
+        clusters = AttributeClusteringBlocking(
+            link_threshold=0.9
+        ).cluster_attributes(left, right)
+        assert clusters[(0, "x")] == 0
+        assert clusters[(1, "y")] == 0
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AttributeClusteringBlocking(link_threshold=1.5)
+
+
+class TestBlocking:
+    def test_prevents_cross_attribute_matches(self, misaligned_schemas):
+        left, right = misaligned_schemas
+        blocks = AttributeClusteringBlocking().build(left, right)
+        pairs = blocks.distinct_pairs()
+        # 'salem' as a name (a0) no longer collides with 'salem' as a
+        # city (b1), unlike under plain Standard Blocking.
+        standard_pairs = StandardBlocking().build(left, right).distinct_pairs()
+        assert (0, 1) in standard_pairs
+        assert (0, 1) not in pairs
+
+    def test_keeps_true_matches(self, misaligned_schemas):
+        left, right = misaligned_schemas
+        blocks = AttributeClusteringBlocking().build(left, right)
+        pairs = blocks.distinct_pairs()
+        assert (0, 0) in pairs
+        assert (1, 1) in pairs
+
+    def test_recall_on_generated_data(self, small_generated):
+        blocks = AttributeClusteringBlocking().build(
+            small_generated.left, small_generated.right
+        )
+        pc = pair_completeness(
+            blocks.distinct_pairs(), small_generated.groundtruth
+        )
+        assert pc >= 0.9
+
+    def test_fewer_candidates_than_standard(self, small_generated):
+        clustered = AttributeClusteringBlocking().build(
+            small_generated.left, small_generated.right
+        )
+        standard = StandardBlocking().build(
+            small_generated.left, small_generated.right
+        )
+        assert len(clustered.distinct_pairs()) <= len(standard.distinct_pairs())
+
+    def test_schema_based_rejected(self, misaligned_schemas):
+        left, right = misaligned_schemas
+        with pytest.raises(ValueError, match="schema-agnostic"):
+            AttributeClusteringBlocking().build(left, right, "fullname")
+
+    def test_keys_method_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            AttributeClusteringBlocking().keys("text")

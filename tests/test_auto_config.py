@@ -1,0 +1,89 @@
+"""Tests for the unsupervised (label-free) kNN-Join configurator."""
+
+import pytest
+
+from repro.core.metrics import evaluate_candidates
+from repro.core.profile import EntityCollection, EntityProfile
+from repro.tuning.auto import AutoKNNConfigurator
+
+
+class TestParameters:
+    def test_validates_quantile(self):
+        with pytest.raises(ValueError):
+            AutoKNNConfigurator(quantile=0.0)
+
+    def test_validates_max_k(self):
+        with pytest.raises(ValueError):
+            AutoKNNConfigurator(max_k=0)
+
+
+class TestModelChoice:
+    def test_short_tokens_choose_char_grams(self):
+        left = EntityCollection(
+            [EntityProfile("a", {"t": "ab cd ef gh"})]
+        )
+        right = EntityCollection(
+            [EntityProfile("b", {"t": "ab cd xx yy"})]
+        )
+        model = AutoKNNConfigurator.choose_model(left, right)
+        assert model == "C3GM"
+
+    def test_long_tokens_choose_whole_tokens(self):
+        left = EntityCollection(
+            [EntityProfile("a", {"t": "extraordinary probabilistic databases"})]
+        )
+        right = EntityCollection(
+            [EntityProfile("b", {"t": "incremental aggregation pipelines"})]
+        )
+        model = AutoKNNConfigurator.choose_model(left, right)
+        assert model == "T1GM"
+
+    def test_empty_collections_default(self):
+        left = EntityCollection([EntityProfile("a", {})])
+        right = EntityCollection([EntityProfile("b", {})])
+        assert AutoKNNConfigurator.choose_model(left, right) == "C5GM"
+
+
+class TestEstimateK:
+    def test_clear_gap_gives_small_k(self):
+        # Every query overlaps one indexed set strongly, others weakly.
+        indexed = [frozenset({"a", "b", "c"}), frozenset({"a", "x", "y"}),
+                   frozenset({"a", "p", "q"})]
+        queries = [frozenset({"a", "b", "c"})] * 5
+        configurator = AutoKNNConfigurator(sample_size=5)
+        assert configurator.estimate_k(indexed, queries) == 1
+
+    def test_empty_queries(self):
+        configurator = AutoKNNConfigurator()
+        assert configurator.estimate_k([frozenset({"a"})], []) == 1
+
+    def test_k_bounded(self):
+        configurator = AutoKNNConfigurator(max_k=5)
+        indexed = [frozenset({str(i)}) for i in range(10)]
+        queries = [frozenset({"0", "1", "2"})] * 3
+        assert 1 <= configurator.estimate_k(indexed, queries) <= 5
+
+
+class TestEndToEnd:
+    def test_auto_config_reaches_good_recall(self, small_generated):
+        join = AutoKNNConfigurator().configure_for(small_generated)
+        candidates = join.candidates(
+            small_generated.left, small_generated.right
+        )
+        evaluation = evaluate_candidates(
+            candidates,
+            small_generated.groundtruth,
+            len(small_generated.left),
+            len(small_generated.right),
+        )
+        assert evaluation.pc >= 0.75
+        assert evaluation.pq > 0.1
+
+    def test_queries_smaller_side(self, small_generated):
+        join = AutoKNNConfigurator().configure_for(small_generated)
+        assert join.reverse  # |E1| < |E2| in the fixture
+
+    def test_deterministic(self, small_generated):
+        a = AutoKNNConfigurator().configure_for(small_generated)
+        b = AutoKNNConfigurator().configure_for(small_generated)
+        assert (a.k, a.model.code, a.reverse) == (b.k, b.model.code, b.reverse)

@@ -1,0 +1,38 @@
+"""Smoke test for the python -m repro.bench command-line entry point."""
+
+import os
+import subprocess
+import sys
+
+
+def test_cli_prints_all_tables():
+    env = dict(os.environ)
+    env["REPRO_BENCH_DATASETS"] = "d1"
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "d1"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=900,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for marker in (
+        "Table VI",
+        "Figure 3",
+        "Table VII(a)",
+        "Table VIII",
+        "Table IX",
+        "Table X",
+        "Table XI",
+    ):
+        assert marker in completed.stdout
+
+
+def test_cli_rejects_unknown_dataset():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.bench", "d99"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode != 0

@@ -1,0 +1,102 @@
+"""Unit tests for Block Purging and Block Filtering."""
+
+import pytest
+
+from repro.blocking.blocks import Block, BlockCollection
+from repro.blocking.cleaning import BlockFiltering, BlockPurging
+
+
+def make_blocks():
+    return BlockCollection(
+        [
+            Block("small", (0,), (0,)),
+            Block("medium", (0, 1), (0, 1)),
+            Block("huge", tuple(range(10)), tuple(range(10))),
+        ]
+    )
+
+
+class TestBlockPurging:
+    def test_removes_oversized_blocks(self):
+        blocks = make_blocks()
+        cleaned = BlockPurging(size_fraction=0.5).clean(blocks, total_entities=20)
+        assert {b.key for b in cleaned} == {"small", "medium"}
+
+    def test_keeps_everything_when_no_giant_blocks(self):
+        blocks = BlockCollection([Block("a", (0,), (0,)), Block("b", (1,), (1,))])
+        cleaned = BlockPurging().clean(blocks, total_entities=100)
+        assert len(cleaned) == 2
+
+    def test_infers_total_entities(self):
+        blocks = make_blocks()
+        # 10 left + 10 right entities inferred; threshold 10 removes "huge".
+        cleaned = BlockPurging().clean(blocks)
+        assert {b.key for b in cleaned} == {"small", "medium"}
+
+    def test_never_loses_blocks_below_threshold(self):
+        blocks = make_blocks()
+        cleaned = BlockPurging(size_fraction=1.0).clean(blocks, 20)
+        assert len(cleaned) == len(blocks)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            BlockPurging(size_fraction=0.0)
+        with pytest.raises(ValueError):
+            BlockPurging(size_fraction=1.5)
+
+    def test_result_is_subset(self):
+        blocks = make_blocks()
+        cleaned = BlockPurging().clean(blocks, 20)
+        original_keys = {b.key for b in blocks}
+        assert all(b.key in original_keys for b in cleaned)
+
+
+class TestBlockFiltering:
+    def test_ratio_one_is_identity(self):
+        blocks = make_blocks()
+        assert BlockFiltering(1.0).clean(blocks) is blocks
+
+    def test_low_ratio_keeps_smallest_blocks_per_entity(self):
+        blocks = make_blocks()
+        cleaned = BlockFiltering(0.4).clean(blocks)
+        # Entity 0 sits in 3 blocks; with ratio 0.4 it keeps ceil(1.2)=2,
+        # ordered by block size: "small" and "medium".
+        kept_keys = {b.key for b in cleaned}
+        assert "small" in kept_keys
+        assert "huge" not in kept_keys or all(
+            0 not in b.left for b in cleaned if b.key == "huge"
+        )
+
+    def test_candidates_shrink_monotonically(self):
+        blocks = make_blocks()
+        sizes = []
+        for ratio in (1.0, 0.7, 0.4, 0.1):
+            cleaned = BlockFiltering(ratio).clean(blocks)
+            sizes.append(len(cleaned.distinct_pairs()))
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_pairs_are_subset_of_input(self):
+        blocks = make_blocks()
+        original = blocks.distinct_pairs().as_frozenset()
+        cleaned = BlockFiltering(0.5).clean(blocks).distinct_pairs()
+        assert cleaned.as_frozenset() <= original
+
+    def test_every_entity_keeps_at_least_one_block(self):
+        blocks = make_blocks()
+        cleaned = BlockFiltering(0.05).clean(blocks)
+        retained_left = set()
+        for block in cleaned:
+            retained_left.update(block.left)
+        # Entity 0 appears in blocks on both sides of the smallest block,
+        # so it must survive somewhere.
+        assert 0 in retained_left
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            BlockFiltering(0.0)
+        with pytest.raises(ValueError):
+            BlockFiltering(1.2)
+
+    def test_empty_collection(self):
+        empty = BlockCollection([])
+        assert len(BlockFiltering(0.5).clean(empty)) == 0

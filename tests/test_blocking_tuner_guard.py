@@ -1,0 +1,48 @@
+"""Tests for the blocking tuner's memory guard and fallback reporting."""
+
+import pytest
+
+import repro.tuning.blocking as tuning_blocking
+from repro.datasets.generator import DatasetSpec, generate
+from repro.datasets.noise import NoiseProfile
+from repro.tuning.blocking import BlockingWorkflowTuner
+
+
+def test_memory_guard_skips_huge_graphs(small_generated, monkeypatch):
+    """With an absurdly low cap every configuration is skipped and the
+    tuner reports an empty, infeasible result instead of crashing."""
+    monkeypatch.setattr(tuning_blocking, "MAX_GRAPH_COMPARISONS", 1)
+    result = BlockingWorkflowTuner("SBW").tune(small_generated)
+    assert not result.feasible
+    assert result.configurations_tried == 0
+
+
+def test_infeasible_dataset_reports_closest_miss():
+    """A dataset whose duplicates share no tokens cannot reach the recall
+    target; the tuner must report the best-PC configuration (the paper's
+    red cells), not an empty result."""
+    spec = DatasetSpec(
+        name="hopeless", domain="product", size1=40, size2=40,
+        duplicates=40, seed=77,
+        # Extreme noise: nearly every token mangled on both sides.
+        noise1=NoiseProfile(typo_rate=0.95, token_drop_rate=0.5),
+        noise2=NoiseProfile(typo_rate=0.95, token_drop_rate=0.5),
+    )
+    dataset = generate(spec)
+    result = BlockingWorkflowTuner("SBW").tune(dataset)
+    if not result.feasible:
+        assert result.params  # the closest miss is recorded
+        assert result.configurations_tried >= 1
+        assert 0.0 <= result.pc < 0.9
+
+
+def test_target_recall_configurable(small_generated):
+    """A lower recall target admits more configurations and can only
+    improve the achievable precision."""
+    strict = BlockingWorkflowTuner("SBW", target_recall=0.95).tune(
+        small_generated
+    )
+    loose = BlockingWorkflowTuner("SBW", target_recall=0.5).tune(
+        small_generated
+    )
+    assert loose.pq >= strict.pq

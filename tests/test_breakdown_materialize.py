@@ -1,0 +1,100 @@
+"""Tests for rebuilding tuned filters from matrix cells (breakdowns)."""
+
+import pytest
+
+from repro.bench.harness import CellResult
+from repro.bench.runtime_breakdown import _materialize
+from repro.blocking.workflow import BlockingWorkflow
+from repro.dense.crosspolytope import CrossPolytopeLSH
+from repro.dense.deepblocker import DeepBlocker
+from repro.dense.hyperplane import HyperplaneLSH
+from repro.dense.knn_search import FaissKNN, ScannKNN
+from repro.dense.minhash import MinHashLSH
+from repro.sparse.epsilon_join import EpsilonJoin
+from repro.sparse.knn_join import KNNJoin
+
+
+def cell(method, **params):
+    return CellResult(
+        method=method, dataset="d1", setting="a",
+        pc=0.9, pq=0.1, candidates=10, runtime=0.1, feasible=True,
+        params=params,
+    )
+
+
+class TestMaterialize:
+    def test_blocking_workflow(self):
+        filter_ = _materialize(
+            "SBW", cell("SBW", purging=True, ratio=0.5, cleaner="ARCS+WEP")
+        )
+        assert isinstance(filter_, BlockingWorkflow)
+
+    def test_epsilon_join(self):
+        filter_ = _materialize(
+            "EJ",
+            cell("EJ", threshold=0.4, model="C3G", measure="cosine",
+                 cleaning=False),
+        )
+        assert isinstance(filter_, EpsilonJoin)
+        assert filter_.threshold == 0.4
+
+    def test_knn_join(self):
+        filter_ = _materialize(
+            "kNNJ",
+            cell("kNNJ", k=2, model="C3G", measure="cosine", cleaning=True,
+                 reverse=True),
+        )
+        assert isinstance(filter_, KNNJoin)
+        assert filter_.k == 2
+        assert filter_.reverse
+
+    def test_dense_knn_methods(self):
+        assert isinstance(
+            _materialize("FAISS", cell("FAISS", k=3, cleaning=False,
+                                       reverse=False)),
+            FaissKNN,
+        )
+        assert isinstance(
+            _materialize(
+                "SCANN",
+                cell("SCANN", k=3, cleaning=False, reverse=False,
+                     index_type="AH", similarity="dot"),
+            ),
+            ScannKNN,
+        )
+        assert isinstance(
+            _materialize("DB", cell("DB", k=3, cleaning=True, reverse=True)),
+            DeepBlocker,
+        )
+
+    def test_lsh_methods(self):
+        assert isinstance(
+            _materialize(
+                "MH-LSH",
+                cell("MH-LSH", bands=32, rows=8, shingle_k=3, cleaning=False),
+            ),
+            MinHashLSH,
+        )
+        assert isinstance(
+            _materialize(
+                "HP-LSH",
+                cell("HP-LSH", tables=4, hashes=8, probes=4, cleaning=False),
+            ),
+            HyperplaneLSH,
+        )
+        assert isinstance(
+            _materialize(
+                "CP-LSH",
+                cell("CP-LSH", tables=4, hashes=1, last_cp_dimension=64,
+                     probes=4, cleaning=False),
+            ),
+            CrossPolytopeLSH,
+        )
+
+    def test_baselines(self):
+        for name in ("PBW", "DBW", "DkNN", "DDB"):
+            assert _materialize(name, cell(name)) is not None
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            _materialize("XYZ", cell("XYZ"))

@@ -1,0 +1,101 @@
+"""Unit tests for CandidateSet and GroundTruth."""
+
+import pytest
+
+from repro.core.candidates import CandidateSet
+from repro.core.groundtruth import GroundTruth
+from repro.core.profile import EntityCollection, EntityProfile
+
+
+class TestCandidateSet:
+    def test_deduplicates(self):
+        candidates = CandidateSet([(0, 1), (0, 1), (1, 2)])
+        assert len(candidates) == 2
+
+    def test_add_and_contains(self):
+        candidates = CandidateSet()
+        candidates.add(3, 4)
+        assert (3, 4) in candidates
+        assert (4, 3) not in candidates
+
+    def test_pairs_are_ordered(self):
+        candidates = CandidateSet([(1, 0)])
+        assert (1, 0) in candidates
+        assert (0, 1) not in candidates
+
+    def test_update(self):
+        candidates = CandidateSet()
+        candidates.update([(0, 0), (1, 1)])
+        assert len(candidates) == 2
+
+    def test_coerces_to_int(self):
+        import numpy as np
+
+        candidates = CandidateSet([(np.int64(1), np.int64(2))])
+        assert (1, 2) in candidates
+
+    def test_equality(self):
+        assert CandidateSet([(0, 1)]) == CandidateSet([(0, 1)])
+        assert CandidateSet([(0, 1)]) != CandidateSet([(1, 0)])
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(CandidateSet())
+
+    def test_as_frozenset(self):
+        snapshot = CandidateSet([(0, 1)]).as_frozenset()
+        assert snapshot == frozenset({(0, 1)})
+
+    def test_intersection_size(self):
+        a = CandidateSet([(0, 0), (1, 1), (2, 2)])
+        b = CandidateSet([(1, 1), (3, 3)])
+        assert a.intersection_size(b) == 1
+
+    def test_union(self):
+        a = CandidateSet([(0, 0)])
+        b = CandidateSet([(1, 1)])
+        assert len(a.union(b)) == 2
+
+
+class TestGroundTruth:
+    def test_len_and_contains(self, groundtruth):
+        assert len(groundtruth) == 3
+        assert (0, 0) in groundtruth
+        assert (0, 1) not in groundtruth
+
+    def test_matches_of_left(self, groundtruth):
+        assert groundtruth.matches_of_left(1) == [1]
+        assert groundtruth.matches_of_left(99) == []
+
+    def test_matches_of_right(self, groundtruth):
+        assert groundtruth.matches_of_right(2) == [2]
+
+    def test_duplicates_in(self, groundtruth):
+        candidates = CandidateSet([(0, 0), (1, 1), (5, 5)])
+        assert groundtruth.duplicates_in(candidates) == 2
+
+    def test_duplicates_in_large_candidate_set(self, groundtruth):
+        candidates = CandidateSet((i, j) for i in range(10) for j in range(10))
+        assert groundtruth.duplicates_in(candidates) == 3
+
+    def test_reversed(self, groundtruth):
+        swapped = groundtruth.reversed()
+        assert (0, 0) in swapped
+        assert len(swapped) == 3
+
+    def test_one_to_many_supported(self):
+        gt = GroundTruth([(0, 1), (0, 2)])
+        assert gt.matches_of_left(0) == sorted(gt.matches_of_left(0))
+        assert len(gt.matches_of_left(0)) == 2
+
+    def test_from_uids(self):
+        left = EntityCollection([EntityProfile("x", {}), EntityProfile("y", {})])
+        right = EntityCollection([EntityProfile("u", {}), EntityProfile("v", {})])
+        gt = GroundTruth.from_uids([("y", "u")], left, right)
+        assert (1, 0) in gt
+
+    def test_from_uids_unknown_raises(self):
+        left = EntityCollection([EntityProfile("x", {})])
+        right = EntityCollection([EntityProfile("u", {})])
+        with pytest.raises(KeyError):
+            GroundTruth.from_uids([("nope", "u")], left, right)

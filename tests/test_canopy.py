@@ -1,0 +1,91 @@
+"""Tests for Canopy Clustering blocking."""
+
+import pytest
+
+from repro.blocking.canopy import CanopyClusteringBlocking
+from repro.core.metrics import pair_completeness
+
+
+class TestParameters:
+    def test_thresholds_validated(self):
+        with pytest.raises(ValueError):
+            CanopyClusteringBlocking(t_loose=0.0)
+        with pytest.raises(ValueError):
+            CanopyClusteringBlocking(t_loose=0.6, t_tight=0.3)
+
+    def test_keys_unsupported(self):
+        with pytest.raises(NotImplementedError):
+            CanopyClusteringBlocking().keys("x")
+
+
+class TestCanopies:
+    def test_finds_duplicates(self, tiny_dataset):
+        builder = CanopyClusteringBlocking(
+            t_loose=0.2, t_tight=0.7, model="C3G"
+        )
+        blocks = builder.build(tiny_dataset.left, tiny_dataset.right)
+        pc = pair_completeness(
+            blocks.distinct_pairs(), tiny_dataset.groundtruth
+        )
+        assert pc >= 2 / 3
+
+    def test_every_entity_leaves_pool(self, small_generated):
+        """Termination: the pool always shrinks (seed leaves each round)."""
+        builder = CanopyClusteringBlocking(t_loose=0.99, t_tight=0.99)
+        blocks = builder.build(small_generated.left, small_generated.right)
+        # With near-exact thresholds canopies are tiny but the build ends.
+        assert blocks is not None
+
+    def test_loose_threshold_controls_block_size(self, small_generated):
+        tight = CanopyClusteringBlocking(t_loose=0.6, t_tight=0.8, seed=1)
+        loose = CanopyClusteringBlocking(t_loose=0.1, t_tight=0.8, seed=1)
+        tight_pairs = len(
+            tight.build(
+                small_generated.left, small_generated.right
+            ).distinct_pairs()
+        )
+        loose_pairs = len(
+            loose.build(
+                small_generated.left, small_generated.right
+            ).distinct_pairs()
+        )
+        assert loose_pairs >= tight_pairs
+
+    def test_deterministic_per_seed(self, small_generated):
+        a = CanopyClusteringBlocking(seed=5).build(
+            small_generated.left, small_generated.right
+        )
+        b = CanopyClusteringBlocking(seed=5).build(
+            small_generated.left, small_generated.right
+        )
+        assert a.distinct_pairs() == b.distinct_pairs()
+
+    def test_different_seeds_differ(self, small_generated):
+        a = CanopyClusteringBlocking(t_loose=0.2, seed=1).build(
+            small_generated.left, small_generated.right
+        )
+        b = CanopyClusteringBlocking(t_loose=0.2, seed=2).build(
+            small_generated.left, small_generated.right
+        )
+        # Stochastic method: different canopy structure (almost surely).
+        assert a.distinct_pairs() != b.distinct_pairs() or len(a) != len(b)
+
+    def test_works_in_blocking_workflow(self, small_generated):
+        from repro.blocking.metablocking import MetaBlocking
+        from repro.blocking.workflow import BlockingWorkflow
+
+        workflow = BlockingWorkflow(
+            CanopyClusteringBlocking(t_loose=0.2, t_tight=0.6, model="C3G"),
+            cleaner=MetaBlocking("ARCS", "CNP"),
+        )
+        candidates = workflow.candidates(
+            small_generated.left, small_generated.right
+        )
+        assert len(candidates) > 0
+
+    def test_schema_based_setting(self, small_generated):
+        builder = CanopyClusteringBlocking(t_loose=0.3, model="C3G")
+        blocks = builder.build(
+            small_generated.left, small_generated.right, "title"
+        )
+        assert blocks is not None

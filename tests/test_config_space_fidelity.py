@@ -1,0 +1,84 @@
+"""Fidelity of the full-profile grids to the paper's Tables III and IV.
+
+The paper reports "Maximum Configurations" per method; the full profile
+must reproduce those counts (up to the paper's off-by-one rounding of
+the 101-point threshold grid).
+"""
+
+import pytest
+
+from repro.blocking.metablocking import PRUNING_ALGORITHMS, WEIGHTING_SCHEMES
+from repro.tuning import spaces
+
+
+def cleaning_configs() -> int:
+    """CP or one of the 6 x 7 Meta-blocking configurations."""
+    return 1 + len(WEIGHTING_SCHEMES) * len(PRUNING_ALGORITHMS)
+
+
+class TestTableIII:
+    def test_comparison_cleaning_options(self):
+        assert cleaning_configs() == 43
+
+    def test_standard_blocking_3440(self):
+        # BP (2) x BFr (40) x cleaning (43) = 3,440.
+        ratios = len(spaces.block_filtering_ratios("full"))
+        assert ratios == 40
+        assert 2 * ratios * cleaning_configs() == 3440
+
+    def test_qgrams_blocking_17200(self):
+        builders = len(spaces.builder_grid("qgrams", "full"))
+        assert builders == 5  # q in [2, 6]
+        assert builders * 2 * 40 * cleaning_configs() == 17200
+
+    def test_extended_qgrams_68800(self):
+        builders = len(spaces.builder_grid("extended-qgrams", "full"))
+        assert builders == 20  # q in [2,6] x t in {0.8,...,0.95}
+        assert builders * 2 * 40 * cleaning_configs() == 68800
+
+    def test_suffix_arrays_21285(self):
+        # l_min (5) x b_max (99) x cleaning (43) = 21,285 — proactive
+        # workflows skip block cleaning.
+        builders = len(spaces.builder_grid("suffix-arrays", "full"))
+        assert builders == 5 * 99
+        assert builders * cleaning_configs() == 21285
+
+
+class TestTableIV:
+    def test_epsilon_join_about_6000(self):
+        # CL (2) x SM (3) x RM (10) x thresholds (~100) ~ 6,000.
+        thresholds = len(spaces.epsilon_thresholds("full"))
+        assert 100 <= thresholds <= 101
+        count = 2 * 3 * 10 * thresholds
+        assert 6000 <= count <= 6060
+
+    def test_knn_join_12000(self):
+        # CL (2) x RVS (2) x SM (3) x RM (10) x K (100) = 12,000.
+        ks = len(spaces.knn_k_values("full"))
+        assert ks == 100
+        assert 2 * 2 * 3 * 10 * ks == 12000
+
+    def test_representation_models_complete(self):
+        assert len(spaces.representation_models("full")) == 10
+
+    def test_similarity_measures_complete(self):
+        assert set(spaces.similarity_measures("full")) == {
+            "cosine", "dice", "jaccard",
+        }
+
+
+class TestTableV:
+    def test_minhash_band_layouts(self):
+        grid = spaces.minhash_grid("full")
+        layouts = {(c["bands"], c["rows"]) for c in grid}
+        for bands, rows in layouts:
+            # Powers of two with products in {128, 256, 512}.
+            assert bands & (bands - 1) == 0
+            assert rows & (rows - 1) == 0
+            assert bands * rows in (128, 256, 512)
+
+    def test_dense_k_values_reach_5000(self):
+        values = spaces.dense_k_values("full")
+        assert values[0] == 1
+        assert values[-1] == 5000
+        assert 100 in values

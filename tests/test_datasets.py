@@ -1,0 +1,259 @@
+"""Unit tests for the dataset substrate: noise, domains, generation."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.domains import DOMAINS
+from repro.datasets.generator import DatasetSpec, generate
+from repro.datasets.noise import NoiseProfile, TextNoiser
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    DATASET_SPECS,
+    SCHEMA_BASED_DATASETS,
+    load_all,
+    load_dataset,
+)
+from repro.datasets.stats import (
+    attribute_stats,
+    character_length,
+    select_best_attribute,
+    text_volume,
+    vocabulary_size,
+)
+
+
+class TestNoiseProfile:
+    def test_validates_rates(self):
+        with pytest.raises(ValueError):
+            NoiseProfile(typo_rate=1.5)
+        with pytest.raises(ValueError):
+            NoiseProfile(misplace_rate=-0.1)
+
+    def test_defaults_are_zero(self):
+        profile = NoiseProfile()
+        assert profile.typo_rate == 0.0
+        assert profile.misplace_rate == 0.0
+
+
+class TestTextNoiser:
+    def make(self, **kw):
+        return TextNoiser(NoiseProfile(**kw), np.random.default_rng(0))
+
+    def test_typo_changes_token(self):
+        noiser = self.make()
+        changed = sum(
+            1 for __ in range(50) if noiser.typo("wireless") != "wireless"
+        )
+        assert changed > 40  # transpositions of equal chars can no-op
+
+    def test_typo_single_char_token(self):
+        noiser = self.make()
+        for __ in range(20):
+            result = noiser.typo("a")
+            assert len(result) in (1, 2)  # substitute or insert only
+
+    def test_typo_empty_token(self):
+        assert self.make().typo("") == ""
+
+    def test_abbreviate_short_token_untouched(self):
+        assert self.make().abbreviate("abc") == "abc"
+
+    def test_abbreviate_shortens(self):
+        noiser = self.make()
+        result = noiser.abbreviate("extraordinary")
+        assert len(result) < len("extraordinary")
+        assert "extraordinary".startswith(result)
+
+    def test_zero_noise_is_identity(self):
+        noiser = self.make()
+        assert noiser.perturb_value("wireless keyboard pro") == (
+            "wireless keyboard pro"
+        )
+
+    def test_drop_keeps_first_token(self):
+        noiser = self.make(token_drop_rate=1.0)
+        result = noiser.perturb_value("alpha beta gamma")
+        assert result.split()[0] == "alpha"
+
+    def test_extra_token_appended(self):
+        noiser = self.make(extra_token_rate=1.0)
+        result = noiser.perturb_value("alpha", filler="edition")
+        assert result.endswith("edition")
+
+    def test_deterministic_given_seed(self):
+        a = TextNoiser(NoiseProfile(typo_rate=0.5), np.random.default_rng(3))
+        b = TextNoiser(NoiseProfile(typo_rate=0.5), np.random.default_rng(3))
+        assert a.perturb_value("wireless keyboard") == b.perturb_value(
+            "wireless keyboard"
+        )
+
+
+class TestDomains:
+    @pytest.mark.parametrize("name", sorted(DOMAINS))
+    def test_generates_requested_count(self, name):
+        domain = DOMAINS[name]
+        records = domain.generate(np.random.default_rng(0), 25)
+        assert len(records) == 25
+
+    @pytest.mark.parametrize("name", sorted(DOMAINS))
+    def test_key_attribute_always_present(self, name):
+        domain = DOMAINS[name]
+        records = domain.generate(np.random.default_rng(1), 30)
+        assert all(record.get(domain.key_attribute) for record in records)
+
+    @pytest.mark.parametrize("name", sorted(DOMAINS))
+    def test_values_are_strings(self, name):
+        records = DOMAINS[name].generate(np.random.default_rng(2), 10)
+        for record in records:
+            for value in record.values():
+                assert isinstance(value, str)
+
+    def test_families_create_confusable_neighbors(self):
+        domain = DOMAINS["product"]
+        records = domain.generate(np.random.default_rng(3), 100)
+        titles = [set(r["title"].split()) for r in records]
+        # Some non-identical pairs share most of their tokens.
+        confusable = 0
+        for i in range(len(titles)):
+            for j in range(i + 1, len(titles)):
+                if titles[i] != titles[j]:
+                    overlap = len(titles[i] & titles[j])
+                    if overlap >= 3:
+                        confusable += 1
+        assert confusable > 10
+
+    def test_deterministic(self):
+        domain = DOMAINS["media"]
+        a = domain.generate(np.random.default_rng(5), 10)
+        b = domain.generate(np.random.default_rng(5), 10)
+        assert a == b
+
+
+class TestDatasetSpec:
+    def test_rejects_unknown_domain(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "nope", 10, 10, 5, seed=0)
+
+    def test_rejects_too_many_duplicates(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "product", 10, 10, 11, seed=0)
+
+    def test_key_attribute_from_domain(self):
+        spec = DatasetSpec("x", "product", 10, 10, 5, seed=0)
+        assert spec.key_attribute == "title"
+
+    def test_cartesian_product(self):
+        spec = DatasetSpec("x", "product", 10, 20, 5, seed=0)
+        assert spec.cartesian_product == 200
+
+
+class TestGenerate:
+    def test_sizes(self, small_generated):
+        assert len(small_generated.left) == 60
+        assert len(small_generated.right) == 80
+        assert len(small_generated.groundtruth) == 40
+
+    def test_groundtruth_pairs_aligned(self, small_generated):
+        for left_id, right_id in small_generated.groundtruth:
+            assert left_id == right_id  # first `duplicates` are shared
+
+    def test_duplicates_share_content(self, small_generated):
+        shared = 0
+        for left_id, right_id in small_generated.groundtruth:
+            left_tokens = set(small_generated.left[left_id].text().split())
+            right_tokens = set(small_generated.right[right_id].text().split())
+            if left_tokens & right_tokens:
+                shared += 1
+        assert shared >= 0.9 * len(small_generated.groundtruth)
+
+    def test_deterministic(self):
+        spec = DatasetSpec("x", "media", 30, 30, 10, seed=42)
+        a = generate(spec)
+        b = generate(spec)
+        assert a.left.texts() == b.left.texts()
+        assert a.right.texts() == b.right.texts()
+
+    def test_misplacement_moves_key_value(self):
+        spec = DatasetSpec(
+            "x", "media", 200, 200, 100, seed=9,
+            noise1=NoiseProfile(misplace_rate=1.0),
+            misplace_target="actors",
+        )
+        dataset = generate(spec)
+        # Every left profile lost its title, but the tokens moved to actors.
+        assert all(not p.has_value("title") for p in dataset.left)
+        assert dataset.left.coverage("actors") == 1.0
+
+    def test_groundtruth_coverage_reflects_misplacement(self):
+        spec = DatasetSpec(
+            "x", "media", 50, 50, 50, seed=9,
+            noise2=NoiseProfile(misplace_rate=0.5),
+            misplace_target="actors",
+        )
+        dataset = generate(spec)
+        coverage = dataset.groundtruth_coverage("title")
+        assert 0.2 < coverage < 0.8
+
+
+class TestRegistry:
+    def test_ten_datasets(self):
+        assert len(DATASET_NAMES) == 10
+
+    def test_memoization(self):
+        assert load_dataset("d1") is load_dataset("d1")
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            load_dataset("d99")
+
+    def test_increasing_computational_cost(self):
+        products = [
+            DATASET_SPECS[name].cartesian_product for name in DATASET_NAMES
+        ]
+        assert products == sorted(products)
+
+    def test_schema_based_datasets_have_coverage(self):
+        for name in SCHEMA_BASED_DATASETS:
+            dataset = load_dataset(name)
+            assert dataset.groundtruth_coverage(dataset.key_attribute) >= 0.9
+
+    def test_excluded_datasets_lack_coverage(self):
+        for name in ("d5", "d6", "d7", "d10"):
+            dataset = load_dataset(name)
+            assert dataset.groundtruth_coverage(dataset.key_attribute) < 0.9
+
+    def test_load_all_order(self):
+        names = [ds.name for ds in load_all()]
+        assert names == list(DATASET_NAMES)
+
+
+class TestStats:
+    def test_best_attribute_is_key_attribute(self):
+        dataset = load_dataset("d2")
+        assert select_best_attribute(dataset) == "title"
+
+    def test_attribute_stats_sorted_by_score(self, small_generated):
+        stats = attribute_stats(small_generated)
+        scores = [s.score for s in stats]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_year_less_distinctive_than_title(self):
+        dataset = load_dataset("d4")
+        stats = {s.attribute: s for s in attribute_stats(dataset)}
+        assert stats["year"].distinctiveness < stats["title"].distinctiveness
+
+    def test_schema_based_reduces_vocabulary(self, small_generated):
+        agnostic = vocabulary_size(small_generated, None)
+        based = vocabulary_size(small_generated, "title")
+        assert based < agnostic
+
+    def test_cleaning_reduces_characters(self, small_generated):
+        plain = character_length(small_generated, None, cleaning=False)
+        cleaned = character_length(small_generated, None, cleaning=True)
+        assert cleaned <= plain
+
+    def test_text_volume_consistency(self, small_generated):
+        volume = text_volume(small_generated, "title")
+        assert volume.vocabulary_based <= volume.vocabulary_agnostic
+        assert volume.characters_based <= volume.characters_agnostic
+        assert volume.vocabulary_based_clean <= volume.vocabulary_based

@@ -1,0 +1,48 @@
+"""Round-trip consistency of the dense kNN tuners.
+
+The sweep-based tuner derives PC/PQ/|C| analytically from one ranked
+search; materializing the winning configuration as a real filter must
+reproduce the same numbers (for the deterministic methods).
+"""
+
+import pytest
+
+from repro.core.metrics import evaluate_candidates
+from repro.tuning.dense import KNNSearchTuner
+
+
+@pytest.mark.parametrize("method", ["faiss", "scann"])
+def test_tuned_config_reproduces_reported_metrics(small_generated, method):
+    tuner = KNNSearchTuner(method)
+    result = tuner.tune(small_generated)
+    filter_ = tuner.build_filter(result.params)
+    candidates = filter_.candidates(
+        small_generated.left, small_generated.right
+    )
+    evaluation = evaluate_candidates(
+        candidates,
+        small_generated.groundtruth,
+        len(small_generated.left),
+        len(small_generated.right),
+    )
+    assert evaluation.candidates == result.candidates
+    assert evaluation.pc == pytest.approx(result.pc, abs=1e-9)
+    assert evaluation.pq == pytest.approx(result.pq, abs=1e-9)
+
+
+def test_deepblocker_tuner_returns_valid_result(small_generated):
+    tuner = KNNSearchTuner("deepblocker", repetitions=1)
+    result = tuner.tune(small_generated)
+    assert 0.0 <= result.pc <= 1.0
+    assert result.params["k"] >= 1
+    # The materialized filter runs and produces the expected count shape.
+    filter_ = tuner.build_filter(result.params)
+    candidates = filter_.candidates(
+        small_generated.left, small_generated.right
+    )
+    queries = (
+        len(small_generated.left)
+        if result.params["reverse"]
+        else len(small_generated.right)
+    )
+    assert len(candidates) == int(result.params["k"]) * queries

@@ -1,0 +1,135 @@
+"""Targeted tests: describe() strings, serialization, misc edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import CellResult, SettingKey
+from repro.blocking.building import (
+    ExtendedQGramsBlocking,
+    QGramsBlocking,
+    StandardBlocking,
+    SuffixArraysBlocking,
+)
+from repro.dense.crosspolytope import CrossPolytopeLSH
+from repro.dense.embeddings import HashedNGramEmbedder
+from repro.dense.hyperplane import HyperplaneLSH
+from repro.dense.knn_search import FaissKNN, ScannKNN
+from repro.dense.minhash import MinHashLSH
+from repro.sparse.epsilon_join import EpsilonJoin
+from repro.sparse.knn_join import KNNJoin
+from repro.tuning import spaces
+from repro.tuning.result import TunedResult
+
+
+class TestDescribeStrings:
+    """describe() renders the full configuration — used in every table."""
+
+    def test_builders(self):
+        assert StandardBlocking().describe() == "standard"
+        assert "q=4" in QGramsBlocking(4).describe()
+        assert "t=0.9" in ExtendedQGramsBlocking(3, 0.9).describe()
+        assert "b_max=50" in SuffixArraysBlocking(3, 50).describe()
+
+    def test_sparse_filters(self):
+        join = EpsilonJoin(0.42, model="C3G", measure="dice", cleaning=True)
+        description = join.describe()
+        assert "C3G" in description
+        assert "dice" in description
+        assert "0.42" in description
+        assert "clean" in description
+
+    def test_knn_join_flags(self):
+        join = KNNJoin(k=7, model="T1G", reverse=True)
+        description = join.describe()
+        assert "k=7" in description
+        assert "rvs" in description
+
+    def test_dense_filters(self):
+        assert "k=3" in FaissKNN(k=3).describe()
+        assert "AH" in ScannKNN(k=1, index_type="AH").describe()
+        assert "bands=16" in MinHashLSH(bands=16, rows=8).describe()
+        assert "L=4" in HyperplaneLSH(tables=4).describe()
+        assert "cp=None" in CrossPolytopeLSH(tables=2).describe()
+
+
+class TestSettingKeySerialization:
+    def test_as_string_roundtrip_shape(self):
+        key = SettingKey("kNNJ", "d7", "a")
+        assert key.as_string() == "kNNJ|d7|a"
+
+    def test_cell_result_from_tuned_jsonable(self):
+        result = TunedResult(
+            method="x",
+            params={"k": 3, "flag": True, "obj": object()},
+            pc=0.9,
+            pq=0.5,
+            candidates=10,
+            runtime=0.1,
+            feasible=True,
+        )
+        cell = CellResult.from_tuned(SettingKey("x", "d1", "a"), result)
+        assert cell.params["k"] == 3
+        assert cell.params["flag"] is True
+        assert isinstance(cell.params["obj"], str)  # stringified
+
+
+class TestEmbeddingInternals:
+    def test_boundary_markers_in_ngrams(self):
+        embedder = HashedNGramEmbedder(dim=8)
+        grams = embedder._token_ngrams("ab")
+        assert "<ab" in grams or "<ab>" in grams
+
+    def test_very_short_token_fallback(self):
+        embedder = HashedNGramEmbedder(dim=8, ngram_range=(5, 6))
+        grams = embedder._token_ngrams("a")
+        assert grams == ["<a>"]
+
+    def test_token_cache_grows_once(self):
+        embedder = HashedNGramEmbedder(dim=8)
+        embedder.embed_text("alpha beta")
+        size = len(embedder._token_cache)
+        embedder.embed_text("alpha beta")
+        assert len(embedder._token_cache) == size
+
+    def test_unnormalized_mode(self):
+        embedder = HashedNGramEmbedder(dim=16, normalize=False)
+        vector = embedder.embed_text("hello world")
+        assert not np.isclose(np.linalg.norm(vector), 1.0)
+
+
+class TestDenseKValues:
+    def test_fast_values_ascending_unique(self):
+        values = spaces.dense_k_values("fast")
+        assert values == sorted(set(values))
+        assert values[0] == 1
+
+    def test_full_covers_paper_ranges(self):
+        values = spaces.dense_k_values("full")
+        assert 100 in values
+        assert 1000 in values
+        assert 5000 in values
+
+    def test_epsilon_thresholds_descend(self):
+        thresholds = spaces.epsilon_thresholds("fast")
+        assert thresholds == sorted(thresholds, reverse=True)
+        assert thresholds[0] == 1.0
+
+
+class TestLSHGridShapes:
+    def test_hyperplane_grid_keys(self):
+        for config in spaces.hyperplane_grid("fast"):
+            assert {"tables", "hashes", "probes", "cleaning"} == set(config)
+
+    def test_crosspolytope_grid_keys(self):
+        for config in spaces.crosspolytope_grid("fast"):
+            assert {
+                "tables", "hashes", "last_cp_dimension", "probes", "cleaning"
+            } == set(config)
+
+    def test_grids_instantiate(self):
+        for config in spaces.minhash_grid("fast")[:4]:
+            MinHashLSH(**config)
+        for config in spaces.hyperplane_grid("fast")[:4]:
+            HyperplaneLSH(**config)
+        for config in spaces.crosspolytope_grid("fast")[:4]:
+            CrossPolytopeLSH(**config)

@@ -1,0 +1,139 @@
+"""Tests for Dirty ER: self-join adapter and dirty dataset generation."""
+
+import pytest
+
+from repro.blocking.building import StandardBlocking
+from repro.blocking.workflow import BlockingWorkflow
+from repro.core.candidates import CandidateSet
+from repro.datasets.noise import NoiseProfile
+from repro.dirty import (
+    DirtyDatasetSpec,
+    clusters_to_groundtruth,
+    dirty_candidates,
+    evaluate_dirty,
+    generate_dirty,
+)
+from repro.sparse.knn_join import KNNJoin
+
+
+@pytest.fixture(scope="module")
+def dirty_dataset():
+    spec = DirtyDatasetSpec(
+        name="dirty-products",
+        domain="product",
+        size=120,
+        cluster_sizes=(3, 2, 2, 2, 2, 2),
+        seed=21,
+        noise=NoiseProfile(typo_rate=0.1, token_drop_rate=0.1),
+    )
+    return generate_dirty(spec)
+
+
+class TestClustersToGroundtruth:
+    def test_pairs_within_clusters(self):
+        gt = clusters_to_groundtruth([(0, 1, 2), (5, 6)])
+        assert (0, 1) in gt and (0, 2) in gt and (1, 2) in gt
+        assert (5, 6) in gt
+        assert len(gt) == 4
+
+    def test_pairs_canonicalized(self):
+        gt = clusters_to_groundtruth([(7, 3)])
+        assert (3, 7) in gt
+        assert (7, 3) not in gt
+
+    def test_duplicate_members_collapsed(self):
+        gt = clusters_to_groundtruth([(1, 1, 2)])
+        assert len(gt) == 1
+
+
+class TestDirtySpec:
+    def test_validates_domain(self):
+        with pytest.raises(ValueError):
+            DirtyDatasetSpec("x", "nope", 10, (2,), seed=0)
+
+    def test_validates_cluster_sizes(self):
+        with pytest.raises(ValueError):
+            DirtyDatasetSpec("x", "product", 10, (1,), seed=0)
+        with pytest.raises(ValueError):
+            DirtyDatasetSpec("x", "product", 3, (2, 2), seed=0)
+
+
+class TestGenerateDirty:
+    def test_collection_size(self, dirty_dataset):
+        assert len(dirty_dataset.collection) == 120
+
+    def test_groundtruth_size(self, dirty_dataset):
+        # one triple (3 pairs) + five doubles (1 pair each) = 8 pairs.
+        assert len(dirty_dataset.groundtruth) == 8
+
+    def test_cluster_ids_valid(self, dirty_dataset):
+        for cluster in dirty_dataset.clusters:
+            for member in cluster:
+                assert 0 <= member < len(dirty_dataset.collection)
+
+    def test_deterministic(self):
+        spec = DirtyDatasetSpec(
+            "x", "media", 40, (2, 2), seed=5,
+            misplace_target="actors",
+        )
+        a = generate_dirty(spec)
+        b = generate_dirty(spec)
+        assert a.collection.texts() == b.collection.texts()
+
+    def test_cluster_members_share_content(self, dirty_dataset):
+        sharing = 0
+        for cluster in dirty_dataset.clusters:
+            tokens = [
+                set(dirty_dataset.collection[m].text().split())
+                for m in cluster
+            ]
+            if all(tokens[0] & t for t in tokens[1:]):
+                sharing += 1
+        assert sharing == len(dirty_dataset.clusters)
+
+
+class TestDirtyCandidates:
+    def test_no_self_pairs(self, dirty_dataset):
+        workflow = BlockingWorkflow(StandardBlocking())
+        candidates = dirty_candidates(workflow, dirty_dataset.collection)
+        for left, right in candidates:
+            assert left != right
+
+    def test_pairs_canonicalized(self, dirty_dataset):
+        workflow = BlockingWorkflow(StandardBlocking())
+        candidates = dirty_candidates(workflow, dirty_dataset.collection)
+        for left, right in candidates:
+            assert left < right
+
+    def test_blocking_finds_clusters(self, dirty_dataset):
+        workflow = BlockingWorkflow(StandardBlocking())
+        candidates = dirty_candidates(workflow, dirty_dataset.collection)
+        evaluation = evaluate_dirty(
+            candidates, dirty_dataset.groundtruth, len(dirty_dataset.collection)
+        )
+        assert evaluation.pc >= 0.8
+
+    def test_knn_needs_extra_neighbor_for_self_match(self, dirty_dataset):
+        """In a self-join, every entity's nearest neighbour is itself, so
+        k=1 yields (almost) nothing while k=2 finds the clusters."""
+        k1 = dirty_candidates(
+            KNNJoin(k=1, model="C3G"), dirty_dataset.collection
+        )
+        k2 = dirty_candidates(
+            KNNJoin(k=2, model="C3G"), dirty_dataset.collection
+        )
+        ev1 = evaluate_dirty(
+            k1, dirty_dataset.groundtruth, len(dirty_dataset.collection)
+        )
+        ev2 = evaluate_dirty(
+            k2, dirty_dataset.groundtruth, len(dirty_dataset.collection)
+        )
+        assert ev2.pc > ev1.pc
+
+    def test_evaluate_dirty_bounds(self, dirty_dataset):
+        candidates = CandidateSet([(0, 1)])
+        evaluation = evaluate_dirty(
+            candidates, dirty_dataset.groundtruth, len(dirty_dataset.collection)
+        )
+        assert 0.0 <= evaluation.pc <= 1.0
+        assert 0.0 <= evaluation.rr <= 1.0

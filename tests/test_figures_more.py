@@ -1,0 +1,63 @@
+"""Extra coverage for the figure helpers."""
+
+import pytest
+
+from repro.bench.figures import (
+    RankSeries,
+    duplicate_rank_distribution,
+    figure04_06_series,
+    rank_histogram,
+)
+
+
+class TestRankHistogram:
+    def test_custom_bins(self):
+        histogram = rank_histogram([0, 3, 10], bins=(5,))
+        assert histogram == [("[0,5)", 2), (">=5", 1)]
+
+    def test_empty_input(self):
+        histogram = rank_histogram([])
+        assert all(count == 0 for __, count in histogram)
+
+    def test_total_preserved(self):
+        ranks = [0, 1, 2, 7, 30, 199, 200, 500]
+        histogram = rank_histogram(ranks)
+        assert sum(count for __, count in histogram) == len(ranks)
+
+
+class TestRankDistribution:
+    def test_schema_based_setting(self, small_generated):
+        ranks = duplicate_rank_distribution(
+            small_generated, "syntactic", attribute="title"
+        )
+        assert len(ranks) == len(small_generated.groundtruth)
+
+    def test_max_rank_caps(self, small_generated):
+        ranks = duplicate_rank_distribution(
+            small_generated, "semantic", max_rank=5
+        )
+        assert max(ranks) <= 5
+
+    def test_semantic_reverse_direction(self, small_generated):
+        forward = duplicate_rank_distribution(small_generated, "semantic")
+        backward = duplicate_rank_distribution(
+            small_generated, "semantic", reverse=True
+        )
+        assert len(forward) == len(backward)
+
+
+class TestSeries:
+    def test_series_fields(self):
+        series = figure04_06_series(["d1"], settings=("a",), reverses=(True,))
+        for entry in series:
+            assert isinstance(entry, RankSeries)
+            assert entry.dataset == "d1"
+            assert entry.reverse is True
+            assert 0.0 <= entry.top1_fraction <= 1.0
+
+    def test_both_settings_requested(self):
+        series = figure04_06_series(
+            ["d2"], settings=("a", "b"), reverses=(False,)
+        )
+        settings = {entry.setting for entry in series}
+        assert settings == {"a", "b"}

@@ -1,0 +1,73 @@
+"""Unit tests for the Filter base class and PhaseTimer."""
+
+import time
+
+import pytest
+
+from repro.core.candidates import CandidateSet
+from repro.core.filters import Filter, PhaseTimer
+from repro.core.profile import EntityCollection, EntityProfile
+
+
+class DummyFilter(Filter):
+    name = "dummy"
+
+    def _run(self, left, right, attribute):
+        with self.timer.phase("work"):
+            time.sleep(0.001)
+        return CandidateSet([(0, 0)])
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        assert timer.as_dict()["a"] >= 0.0
+        assert timer.total == sum(timer.as_dict().values())
+
+    def test_reset(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        timer.reset()
+        assert timer.as_dict() == {}
+
+    def test_records_on_exception(self):
+        timer = PhaseTimer()
+        with pytest.raises(RuntimeError):
+            with timer.phase("x"):
+                raise RuntimeError("boom")
+        assert "x" in timer.as_dict()
+
+    def test_multiple_phases(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert set(timer.as_dict()) == {"a", "b"}
+
+
+class TestFilterBase:
+    def test_candidates_resets_timer(self):
+        filter_ = DummyFilter()
+        left = EntityCollection([EntityProfile("x", {})])
+        right = EntityCollection([EntityProfile("y", {})])
+        filter_.candidates(left, right)
+        first = filter_.timer.total
+        filter_.candidates(left, right)
+        # The second run re-times from scratch, not cumulatively.
+        assert filter_.timer.total < first * 10
+
+    def test_default_not_stochastic(self):
+        assert not DummyFilter().is_stochastic
+
+    def test_describe_defaults_to_name(self):
+        assert DummyFilter().describe() == "dummy"
+
+    def test_abstract(self):
+        with pytest.raises(TypeError):
+            Filter()  # abstract method _run

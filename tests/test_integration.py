@@ -1,0 +1,139 @@
+"""Integration tests: full filter pipelines on a generated dataset.
+
+These tests exercise the paper's headline claims end-to-end on a small
+generated dataset — every filter family produces candidates through the
+same interface, and the qualitative orderings of the paper's conclusions
+hold.
+"""
+
+import pytest
+
+from repro.blocking.building import StandardBlocking
+from repro.blocking.metablocking import MetaBlocking
+from repro.blocking.workflow import BlockingWorkflow, parameter_free_workflow
+from repro.core.metrics import evaluate_candidates, pair_completeness
+from repro.dense.knn_search import FaissKNN
+from repro.dense.minhash import MinHashLSH
+from repro.sparse.epsilon_join import EpsilonJoin
+from repro.sparse.knn_join import KNNJoin
+from repro.tuning import tune_method
+
+
+def evaluate(filter_, dataset, attribute=None):
+    candidates = filter_.candidates(dataset.left, dataset.right, attribute)
+    return evaluate_candidates(
+        candidates, dataset.groundtruth, len(dataset.left), len(dataset.right)
+    )
+
+
+class TestCrossFamilyInterface:
+    """All three families share input and output types (Section I)."""
+
+    @pytest.mark.parametrize(
+        "filter_factory",
+        [
+            lambda: BlockingWorkflow(StandardBlocking()),
+            lambda: EpsilonJoin(0.3, model="C3G"),
+            lambda: KNNJoin(k=2, model="C3G"),
+            lambda: MinHashLSH(bands=32, rows=4),
+            lambda: FaissKNN(k=2),
+        ],
+    )
+    def test_every_family_produces_valid_candidates(
+        self, small_generated, filter_factory
+    ):
+        evaluation = evaluate(filter_factory(), small_generated)
+        assert evaluation.candidates > 0
+        assert 0.0 <= evaluation.pc <= 1.0
+        assert 0.0 <= evaluation.pq <= 1.0
+
+    def test_pair_ids_within_bounds(self, small_generated):
+        for filter_ in (
+            BlockingWorkflow(StandardBlocking()),
+            KNNJoin(k=1, model="C3G", reverse=True),
+            FaissKNN(k=1, reverse=True),
+        ):
+            candidates = filter_.candidates(
+                small_generated.left, small_generated.right
+            )
+            for left, right in candidates:
+                assert 0 <= left < len(small_generated.left)
+                assert 0 <= right < len(small_generated.right)
+
+
+class TestPaperConclusions:
+    """The qualitative findings of Section VII on a controlled dataset."""
+
+    def test_metablocking_beats_propagation_on_precision(self, small_generated):
+        plain = evaluate(BlockingWorkflow(StandardBlocking()), small_generated)
+        pruned = evaluate(
+            BlockingWorkflow(
+                StandardBlocking(), cleaner=MetaBlocking("ARCS", "RCNP")
+            ),
+            small_generated,
+        )
+        assert pruned.pq > plain.pq
+
+    def test_fine_tuning_beats_baseline(self, small_generated):
+        """Conclusion 1: tuned SBW has far higher PQ than PBW."""
+        tuned = tune_method("SBW", small_generated)
+        baseline = evaluate(parameter_free_workflow(), small_generated)
+        assert tuned.pq > baseline.pq
+
+    def test_cardinality_beats_similarity_threshold(self, small_generated):
+        """Conclusion 3: the kNN join needs fewer candidates than the
+        ε-join at the same recall level (here both tuned)."""
+        knn = tune_method("kNNJ", small_generated)
+        epsilon = tune_method("EJ", small_generated)
+        assert knn.feasible and epsilon.feasible
+        assert knn.candidates <= epsilon.candidates * 2  # same order
+
+    def test_syntactic_beats_semantic(self, small_generated):
+        """Conclusion 4: tuned kNN-Join beats tuned FAISS on precision."""
+        syntactic = tune_method("kNNJ", small_generated)
+        semantic = tune_method("FAISS", small_generated)
+        assert syntactic.pq >= semantic.pq
+
+    def test_knn_candidates_linear_in_query_side(self, small_generated):
+        """|C| = k * |queries| for cardinality-threshold methods."""
+        k = 3
+        candidates = FaissKNN(k=k).candidates(
+            small_generated.left, small_generated.right
+        )
+        assert len(candidates) == k * len(small_generated.right)
+
+    def test_schema_based_faster_smaller(self, small_generated):
+        """Schema-based settings process less text (Figure 3)."""
+        workflow = BlockingWorkflow(StandardBlocking())
+        agnostic = workflow.candidates(
+            small_generated.left, small_generated.right
+        )
+        based = workflow.candidates(
+            small_generated.left, small_generated.right, "title"
+        )
+        assert len(based) <= len(agnostic)
+
+
+class TestDeterminism:
+    def test_deterministic_methods_stable(self, small_generated):
+        for filter_factory in (
+            lambda: BlockingWorkflow(StandardBlocking()),
+            lambda: EpsilonJoin(0.4, model="C3G"),
+            lambda: KNNJoin(k=2, model="C3G"),
+            lambda: FaissKNN(k=2),
+        ):
+            a = filter_factory().candidates(
+                small_generated.left, small_generated.right
+            )
+            b = filter_factory().candidates(
+                small_generated.left, small_generated.right
+            )
+            assert a == b
+
+    def test_stochastic_methods_average_reported(self, small_generated):
+        from repro.core.optimizer import GridSearchOptimizer
+
+        optimizer = GridSearchOptimizer(repetitions=2)
+        lsh = MinHashLSH(bands=16, rows=8)
+        evaluation = optimizer.evaluate(lsh, small_generated)
+        assert 0.0 <= evaluation.pc <= 1.0

@@ -1,0 +1,72 @@
+"""Unit tests for CSV persistence of collections and groundtruth."""
+
+import pytest
+
+from repro.datasets.io import (
+    read_collection,
+    read_groundtruth,
+    write_collection,
+    write_groundtruth,
+)
+
+
+class TestCollectionRoundtrip:
+    def test_roundtrip_preserves_profiles(self, left_collection, tmp_path):
+        path = tmp_path / "left.csv"
+        write_collection(left_collection, path)
+        loaded = read_collection(path, name="left")
+        assert len(loaded) == len(left_collection)
+        for original, restored in zip(left_collection, loaded):
+            assert original.uid == restored.uid
+            assert original.value("title") == restored.value("title")
+
+    def test_empty_values_become_missing(self, tmp_path):
+        from repro.core.profile import EntityCollection, EntityProfile
+
+        collection = EntityCollection(
+            [EntityProfile("a", {"x": "1", "y": ""}), EntityProfile("b", {"y": "2"})]
+        )
+        path = tmp_path / "c.csv"
+        write_collection(collection, path)
+        loaded = read_collection(path)
+        assert not loaded[0].has_value("y")
+        assert loaded[1].value("y") == "2"
+
+    def test_read_rejects_missing_id_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("name,city\nx,y\n")
+        with pytest.raises(ValueError, match="'id' header"):
+            read_collection(path)
+
+    def test_collection_name_defaults_to_stem(self, left_collection, tmp_path):
+        path = tmp_path / "products.csv"
+        write_collection(left_collection, path)
+        assert read_collection(path).name == "products"
+
+
+class TestGroundtruthRoundtrip:
+    def test_roundtrip(self, left_collection, right_collection, groundtruth, tmp_path):
+        path = tmp_path / "gt.csv"
+        write_groundtruth(groundtruth, left_collection, right_collection, path)
+        loaded = read_groundtruth(path, left_collection, right_collection)
+        assert loaded.as_frozenset() == groundtruth.as_frozenset()
+
+    def test_read_rejects_short_header(self, left_collection, right_collection, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("only\nx\n")
+        with pytest.raises(ValueError, match="two-column"):
+            read_groundtruth(path, left_collection, right_collection)
+
+    def test_full_dataset_roundtrip(self, small_generated, tmp_path):
+        write_collection(small_generated.left, tmp_path / "e1.csv")
+        write_collection(small_generated.right, tmp_path / "e2.csv")
+        write_groundtruth(
+            small_generated.groundtruth,
+            small_generated.left,
+            small_generated.right,
+            tmp_path / "gt.csv",
+        )
+        left = read_collection(tmp_path / "e1.csv")
+        right = read_collection(tmp_path / "e2.csv")
+        gt = read_groundtruth(tmp_path / "gt.csv", left, right)
+        assert len(gt) == len(small_generated.groundtruth)

@@ -1,0 +1,124 @@
+"""Tests for verification (matching), clustering and the ER pipeline."""
+
+import pytest
+
+from repro.blocking.building import StandardBlocking
+from repro.blocking.workflow import BlockingWorkflow
+from repro.core.candidates import CandidateSet
+from repro.matching import (
+    ERPipeline,
+    SimilarityMatcher,
+    connected_components,
+    unique_mapping,
+)
+from repro.sparse.epsilon_join import EpsilonJoin
+
+
+class TestSimilarityMatcher:
+    def test_scores_all_candidates(self, left_collection, right_collection):
+        candidates = CandidateSet([(0, 0), (1, 1), (0, 3)])
+        matcher = SimilarityMatcher(threshold=0.0)
+        scored = matcher.score(candidates, left_collection, right_collection)
+        assert len(scored) == 3
+        assert all(0.0 <= s <= 1.0 for __, __, s in scored)
+
+    def test_identical_titles_score_one(self, left_collection, right_collection):
+        matcher = SimilarityMatcher(threshold=0.0, attribute="title")
+        scored = {
+            (l, r): s
+            for l, r, s in matcher.score(
+                CandidateSet([(1, 1)]), left_collection, right_collection
+            )
+        }
+        assert scored[(1, 1)] == pytest.approx(1.0)
+
+    def test_match_applies_threshold(self, left_collection, right_collection):
+        candidates = CandidateSet([(1, 1), (0, 3)])
+        matcher = SimilarityMatcher(threshold=0.9)
+        matches = matcher.match(candidates, left_collection, right_collection)
+        assert (1, 1, pytest.approx(1.0)) in [
+            (l, r, s) for l, r, s in matches
+        ]
+        assert all((l, r) != (0, 3) for l, r, __ in matches)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SimilarityMatcher(threshold=2.0)
+
+
+class TestClustering:
+    def test_connected_components(self):
+        pairs = [(0, 0, 1.0), (0, 1, 0.9), (5, 7, 0.8)]
+        components = connected_components(pairs)
+        assert len(components) == 2
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [2, 3]
+
+    def test_connected_components_tags_sides(self):
+        components = connected_components([(3, 3, 1.0)])
+        assert components == [{("L", 3), ("R", 3)}]
+
+    def test_unique_mapping_greedy(self):
+        pairs = [(0, 0, 0.9), (0, 1, 0.8), (1, 0, 0.7), (1, 1, 0.6)]
+        accepted = unique_mapping(pairs)
+        assert (0, 0, 0.9) in accepted
+        assert (1, 1, 0.6) in accepted
+        assert len(accepted) == 2
+
+    def test_unique_mapping_deterministic_ties(self):
+        pairs = [(0, 0, 0.5), (0, 1, 0.5)]
+        assert unique_mapping(pairs) == unique_mapping(list(reversed(pairs)))
+
+    def test_unique_mapping_empty(self):
+        assert unique_mapping([]) == []
+
+
+class TestERPipeline:
+    def test_end_to_end(self, tiny_dataset):
+        pipeline = ERPipeline(
+            BlockingWorkflow(StandardBlocking()),
+            SimilarityMatcher(threshold=0.3, model="C3G"),
+        )
+        result = pipeline.run(tiny_dataset.left, tiny_dataset.right)
+        assert result.recall(tiny_dataset.groundtruth) >= 2 / 3
+        assert result.precision(tiny_dataset.groundtruth) > 0.0
+        assert 0.0 <= result.f1(tiny_dataset.groundtruth) <= 1.0
+
+    def test_filter_recall_caps_pipeline_recall(self, small_generated):
+        """The paper's premise: matching cannot recover filtered-out
+        duplicates, so end-to-end recall <= filtering PC."""
+        from repro.core.metrics import pair_completeness
+
+        strict_filter = EpsilonJoin(0.8, model="T1G")
+        candidates = strict_filter.candidates(
+            small_generated.left, small_generated.right
+        )
+        filter_pc = pair_completeness(candidates, small_generated.groundtruth)
+
+        pipeline = ERPipeline(
+            EpsilonJoin(0.8, model="T1G"),
+            SimilarityMatcher(threshold=0.0),  # accepts everything
+            one_to_one=False,
+        )
+        result = pipeline.run(small_generated.left, small_generated.right)
+        assert result.recall(small_generated.groundtruth) <= filter_pc + 1e-9
+
+    def test_one_to_one_improves_precision(self, small_generated):
+        loose = ERPipeline(
+            BlockingWorkflow(StandardBlocking()),
+            SimilarityMatcher(threshold=0.2, model="C3G"),
+            one_to_one=False,
+        ).run(small_generated.left, small_generated.right)
+        strict = ERPipeline(
+            BlockingWorkflow(StandardBlocking()),
+            SimilarityMatcher(threshold=0.2, model="C3G"),
+            one_to_one=True,
+        ).run(small_generated.left, small_generated.right)
+        assert strict.precision(small_generated.groundtruth) >= loose.precision(
+            small_generated.groundtruth
+        )
+
+    def test_result_counts(self, tiny_dataset):
+        pipeline = ERPipeline(BlockingWorkflow(StandardBlocking()))
+        result = pipeline.run(tiny_dataset.left, tiny_dataset.right)
+        assert result.candidates >= len(result.matches)

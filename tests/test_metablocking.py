@@ -1,0 +1,167 @@
+"""Unit tests for Comparison Propagation and Meta-blocking."""
+
+import numpy as np
+import pytest
+
+from repro.blocking.blocks import Block, BlockCollection
+from repro.blocking.metablocking import (
+    PRUNING_ALGORITHMS,
+    WEIGHTING_SCHEMES,
+    ComparisonPropagation,
+    MetaBlocking,
+    PairGraph,
+    prune_mask,
+)
+
+
+@pytest.fixture()
+def blocks():
+    """(0,0) co-occurs twice (strong), other pairs once (weak)."""
+    return BlockCollection(
+        [
+            Block("k1", (0,), (0,)),
+            Block("k2", (0, 1), (0, 1)),
+            Block("k3", (2,), (2,)),
+        ]
+    )
+
+
+class TestComparisonPropagation:
+    def test_removes_redundant_pairs(self, blocks):
+        candidates = ComparisonPropagation().clean(blocks)
+        # (0,0) appears in k1 and k2 but is counted once.
+        assert len(candidates) == 5
+
+    def test_no_recall_loss(self, blocks):
+        candidates = ComparisonPropagation().clean(blocks)
+        for pair in [(0, 0), (0, 1), (1, 0), (1, 1), (2, 2)]:
+            assert pair in candidates
+
+
+class TestPairGraph:
+    def test_pair_count(self, blocks):
+        graph = PairGraph(blocks)
+        assert len(graph) == 5
+
+    def test_common_blocks_counts(self, blocks):
+        graph = PairGraph(blocks)
+        pairs = {
+            (int(l), int(r)): c
+            for l, r, c in zip(graph.lefts, graph.rights, graph.common)
+        }
+        assert pairs[(0, 0)] == 2
+        assert pairs[(0, 1)] == 1
+
+    def test_arcs_prefers_smaller_blocks(self, blocks):
+        graph = PairGraph(blocks)
+        weights = graph.weights("ARCS")
+        by_pair = {
+            (int(l), int(r)): w
+            for l, r, w in zip(graph.lefts, graph.rights, weights)
+        }
+        # (0,0): 1/1 + 1/4 = 1.25; (2,2): 1/1 = 1.0; (0,1): 1/4.
+        assert by_pair[(0, 0)] == pytest.approx(1.25)
+        assert by_pair[(2, 2)] == pytest.approx(1.0)
+        assert by_pair[(0, 1)] == pytest.approx(0.25)
+
+    def test_cbs_counts(self, blocks):
+        graph = PairGraph(blocks)
+        weights = graph.weights("CBS")
+        assert weights.max() == 2.0
+
+    @pytest.mark.parametrize("scheme", WEIGHTING_SCHEMES)
+    def test_all_schemes_produce_finite_nonnegative_weights(self, blocks, scheme):
+        graph = PairGraph(blocks)
+        weights = graph.weights(scheme)
+        assert len(weights) == len(graph)
+        assert np.all(np.isfinite(weights))
+        assert np.all(weights >= 0.0)
+
+    def test_js_bounded_by_one(self, blocks):
+        graph = PairGraph(blocks)
+        assert graph.weights("JS").max() <= 1.0
+
+    def test_unknown_scheme(self, blocks):
+        with pytest.raises(ValueError):
+            PairGraph(blocks).weights("NOPE")
+
+    def test_empty_blocks(self):
+        graph = PairGraph(BlockCollection([]))
+        assert len(graph) == 0
+        assert len(graph.weights("CBS")) == 0
+
+    def test_candidate_set_roundtrip(self, blocks):
+        graph = PairGraph(blocks)
+        mask = np.ones(len(graph), dtype=bool)
+        assert len(graph.candidate_set(mask)) == 5
+
+
+class TestPruning:
+    @pytest.mark.parametrize("algorithm", PRUNING_ALGORITHMS)
+    def test_masks_are_boolean_and_sized(self, blocks, algorithm):
+        graph = PairGraph(blocks)
+        weights = graph.weights("CBS")
+        mask = prune_mask(graph, weights, algorithm)
+        assert mask.dtype == bool
+        assert len(mask) == len(graph)
+
+    @pytest.mark.parametrize("algorithm", PRUNING_ALGORITHMS)
+    def test_pruning_keeps_strongest_pair(self, blocks, algorithm):
+        # (0,0) has the highest CBS weight; no algorithm should drop it.
+        graph = PairGraph(blocks)
+        weights = graph.weights("CBS")
+        mask = prune_mask(graph, weights, algorithm)
+        kept = set(
+            zip(graph.lefts[mask].tolist(), graph.rights[mask].tolist())
+        )
+        assert (0, 0) in kept
+
+    def test_wep_threshold_is_mean(self, blocks):
+        graph = PairGraph(blocks)
+        weights = graph.weights("CBS")
+        mask = prune_mask(graph, weights, "WEP")
+        assert set(weights[mask]) == {w for w in weights if w >= weights.mean()}
+
+    def test_rcnp_subset_of_cnp(self, blocks):
+        graph = PairGraph(blocks)
+        weights = graph.weights("ARCS")
+        cnp = prune_mask(graph, weights, "CNP")
+        rcnp = prune_mask(graph, weights, "RCNP")
+        assert np.all(~rcnp | cnp)  # rcnp implies cnp
+
+    def test_rwnp_subset_of_wnp(self, blocks):
+        graph = PairGraph(blocks)
+        weights = graph.weights("ARCS")
+        wnp = prune_mask(graph, weights, "WNP")
+        rwnp = prune_mask(graph, weights, "RWNP")
+        assert np.all(~rwnp | wnp)
+
+    def test_unknown_algorithm(self, blocks):
+        graph = PairGraph(blocks)
+        with pytest.raises(ValueError):
+            prune_mask(graph, graph.weights("CBS"), "NOPE")
+
+
+class TestMetaBlocking:
+    def test_validates_names(self):
+        with pytest.raises(ValueError):
+            MetaBlocking(scheme="BAD")
+        with pytest.raises(ValueError):
+            MetaBlocking(pruning="BAD")
+
+    def test_clean_returns_subset_of_distinct_pairs(self, blocks):
+        full = blocks.distinct_pairs().as_frozenset()
+        for scheme in ("CBS", "ARCS"):
+            for pruning in ("WEP", "BLAST", "CNP"):
+                cleaned = MetaBlocking(scheme, pruning).clean(blocks)
+                assert cleaned.as_frozenset() <= full
+
+    def test_prunes_superfluous_pairs(self, blocks):
+        cleaned = MetaBlocking("CBS", "RCNP").clean(blocks)
+        assert len(cleaned) < 5  # some weak pairs removed
+
+    def test_empty_blocks(self):
+        assert len(MetaBlocking().clean(BlockCollection([]))) == 0
+
+    def test_describe(self):
+        assert "ECBS" in MetaBlocking("ECBS", "WNP").describe()

@@ -1,0 +1,101 @@
+"""Unit tests for PC, PQ, RR and the evaluation helpers."""
+
+import pytest
+
+from repro.core.candidates import CandidateSet
+from repro.core.groundtruth import GroundTruth
+from repro.core.metrics import (
+    evaluate_candidates,
+    f_measure,
+    pair_completeness,
+    pairs_quality,
+    reduction_ratio,
+    timed,
+)
+
+
+@pytest.fixture()
+def gt():
+    return GroundTruth([(0, 0), (1, 1), (2, 2), (3, 3)])
+
+
+class TestPairCompleteness:
+    def test_full_recall(self, gt):
+        candidates = CandidateSet([(0, 0), (1, 1), (2, 2), (3, 3)])
+        assert pair_completeness(candidates, gt) == 1.0
+
+    def test_half_recall(self, gt):
+        candidates = CandidateSet([(0, 0), (1, 1), (9, 9)])
+        assert pair_completeness(candidates, gt) == 0.5
+
+    def test_empty_candidates(self, gt):
+        assert pair_completeness(CandidateSet(), gt) == 0.0
+
+    def test_empty_groundtruth(self):
+        assert pair_completeness(CandidateSet([(0, 0)]), GroundTruth()) == 0.0
+
+
+class TestPairsQuality:
+    def test_perfect_precision(self, gt):
+        candidates = CandidateSet([(0, 0), (1, 1)])
+        assert pairs_quality(candidates, gt) == 1.0
+
+    def test_mixed_precision(self, gt):
+        candidates = CandidateSet([(0, 0), (7, 7), (8, 8), (9, 9)])
+        assert pairs_quality(candidates, gt) == 0.25
+
+    def test_empty_candidates(self, gt):
+        assert pairs_quality(CandidateSet(), gt) == 0.0
+
+
+class TestReductionRatio:
+    def test_no_candidates_full_reduction(self):
+        assert reduction_ratio(CandidateSet(), 10, 10) == 1.0
+
+    def test_all_pairs_no_reduction(self):
+        candidates = CandidateSet((i, j) for i in range(3) for j in range(3))
+        assert reduction_ratio(candidates, 3, 3) == 0.0
+
+    def test_zero_sized_input(self):
+        assert reduction_ratio(CandidateSet(), 0, 5) == 0.0
+
+
+class TestFMeasure:
+    def test_harmonic_mean(self):
+        assert f_measure(1.0, 1.0) == 1.0
+        assert f_measure(0.5, 0.5) == 0.5
+
+    def test_zero(self):
+        assert f_measure(0.0, 0.0) == 0.0
+
+    def test_asymmetry_punished(self):
+        assert f_measure(1.0, 0.1) < 0.2
+
+
+class TestEvaluateCandidates:
+    def test_all_fields(self, gt):
+        candidates = CandidateSet([(0, 0), (1, 1), (5, 5), (6, 6)])
+        ev = evaluate_candidates(candidates, gt, 10, 10)
+        assert ev.pc == 0.5
+        assert ev.pq == 0.5
+        assert ev.candidates == 4
+        assert ev.duplicates_found == 2
+        assert ev.rr == pytest.approx(1.0 - 4 / 100)
+
+    def test_f1_property(self, gt):
+        candidates = CandidateSet([(0, 0)])
+        ev = evaluate_candidates(candidates, gt, 4, 4)
+        assert ev.f1 == f_measure(ev.pc, ev.pq)
+
+    def test_meets_recall(self, gt):
+        candidates = CandidateSet([(0, 0), (1, 1), (2, 2), (3, 3)])
+        ev = evaluate_candidates(candidates, gt, 4, 4)
+        assert ev.meets_recall(0.9)
+        assert ev.meets_recall(1.0)
+
+
+class TestTimed:
+    def test_returns_result_and_elapsed(self):
+        result, elapsed = timed(lambda: 42)
+        assert result == 42
+        assert elapsed >= 0.0

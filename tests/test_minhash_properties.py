@@ -1,0 +1,73 @@
+"""Statistical property tests for MinHash LSH."""
+
+import numpy as np
+import pytest
+
+from repro.dense.minhash import MinHashLSH, _token_hash
+
+
+class TestSignatureStatistics:
+    def _signature(self, lsh, tokens):
+        a, b = lsh._hash_family()
+        return lsh._signature(frozenset(tokens), a, b)
+
+    def test_signature_length(self):
+        lsh = MinHashLSH(bands=16, rows=8)
+        signature = self._signature(lsh, {"a", "b", "c"})
+        assert signature.shape == (128,)
+
+    def test_empty_set_has_no_signature(self):
+        lsh = MinHashLSH()
+        assert self._signature(lsh, set()) is None
+
+    def test_identical_sets_identical_signatures(self):
+        lsh = MinHashLSH(bands=8, rows=4, seed=3)
+        first = self._signature(lsh, {"x", "y", "z"})
+        second = self._signature(lsh, {"z", "y", "x"})
+        np.testing.assert_array_equal(first, second)
+
+    def test_signature_agreement_estimates_jaccard(self):
+        """The fraction of agreeing minhash positions is an unbiased
+        estimator of the Jaccard coefficient."""
+        lsh = MinHashLSH(bands=64, rows=8, seed=0)  # 512 permutations
+        a = {f"t{i}" for i in range(0, 30)}
+        b = {f"t{i}" for i in range(10, 40)}  # |A & B|=20, |A u B|=40 -> 0.5
+        sig_a = self._signature(lsh, a)
+        sig_b = self._signature(lsh, b)
+        agreement = float(np.mean(sig_a == sig_b))
+        assert agreement == pytest.approx(0.5, abs=0.12)
+
+    def test_disjoint_sets_rarely_agree(self):
+        lsh = MinHashLSH(bands=64, rows=8, seed=0)
+        a = {f"a{i}" for i in range(30)}
+        b = {f"b{i}" for i in range(30)}
+        agreement = float(
+            np.mean(self._signature(lsh, a) == self._signature(lsh, b))
+        )
+        assert agreement < 0.05
+
+
+class TestBandingSCurve:
+    def test_collision_probability_monotone_in_similarity(self):
+        """Entities with higher Jaccard collide in at least as many
+        bands (statistically) — the high-pass filter property."""
+        from repro.core.profile import EntityCollection, EntityProfile
+
+        base = "alpha beta gamma delta epsilon zeta eta theta iota kappa"
+        near = "alpha beta gamma delta epsilon zeta eta theta iota kappax"
+        far = "one two three four five six seven eight nine ten"
+        left = EntityCollection([EntityProfile("l", {"t": base})])
+        right = EntityCollection(
+            [EntityProfile("n", {"t": near}), EntityProfile("f", {"t": far})]
+        )
+        hits_near = hits_far = 0
+        for seed in range(5):
+            lsh = MinHashLSH(bands=32, rows=4, shingle_k=3, seed=seed)
+            candidates = lsh.candidates(left, right)
+            hits_near += (0, 0) in candidates
+            hits_far += (0, 1) in candidates
+        assert hits_near > hits_far
+
+    def test_token_hash_stable(self):
+        assert _token_hash("hello") == _token_hash("hello")
+        assert _token_hash("hello") != _token_hash("world")

@@ -1,0 +1,55 @@
+"""Extra optimizer coverage: runtime measurement and stochastic search."""
+
+import pytest
+
+from repro.core.optimizer import GridSearchOptimizer
+from repro.dense.minhash import MinHashLSH
+from repro.sparse.epsilon_join import EpsilonJoin
+
+
+class TestMeasureRuntime:
+    def test_positive(self, tiny_dataset):
+        optimizer = GridSearchOptimizer()
+        runtime = optimizer.measure_runtime(
+            EpsilonJoin(0.5, model="C3G"), tiny_dataset
+        )
+        assert runtime > 0.0
+
+    def test_repetitions_average(self, tiny_dataset):
+        optimizer = GridSearchOptimizer()
+        join = EpsilonJoin(0.5, model="C3G")
+        single = optimizer.measure_runtime(join, tiny_dataset, repetitions=1)
+        averaged = optimizer.measure_runtime(join, tiny_dataset, repetitions=3)
+        # Same order of magnitude; averaging smooths noise.
+        assert averaged < single * 20
+
+    def test_schema_based_attribute_forwarded(self, tiny_dataset):
+        optimizer = GridSearchOptimizer()
+        runtime = optimizer.measure_runtime(
+            EpsilonJoin(0.5, model="C3G"), tiny_dataset, attribute="title"
+        )
+        assert runtime > 0.0
+
+
+class TestStochasticSearch:
+    def test_search_over_stochastic_filter(self, tiny_dataset):
+        optimizer = GridSearchOptimizer(target_recall=0.5, repetitions=2)
+        result = optimizer.search(
+            [
+                {"bands": 32, "rows": 2, "shingle_k": 3},
+                {"bands": 8, "rows": 16, "shingle_k": 3},
+            ],
+            lambda **config: MinHashLSH(**config),
+            tiny_dataset,
+        )
+        assert result.configurations_tried == 2
+        assert 0.0 <= result.pc <= 1.0
+
+    def test_stochastic_evaluation_averages_runs(self, tiny_dataset):
+        optimizer = GridSearchOptimizer(repetitions=3)
+        lsh = MinHashLSH(bands=16, rows=4, shingle_k=3)
+        evaluation = optimizer.evaluate(lsh, tiny_dataset)
+        # Averaged values remain valid probabilities.
+        assert 0.0 <= evaluation.pc <= 1.0
+        assert 0.0 <= evaluation.pq <= 1.0
+        assert evaluation.candidates >= 0

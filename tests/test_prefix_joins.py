@@ -1,0 +1,166 @@
+"""Tests for the prefix-filter e-join engines (AllPairs, PPJoin).
+
+The central invariant (paper, Section IV-C): every exact ε-Join algorithm
+returns the identical candidate set.  ScanCount-based
+:class:`~repro.sparse.epsilon_join.EpsilonJoin` is the oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profile import EntityCollection, EntityProfile
+from repro.sparse.epsilon_join import EpsilonJoin
+from repro.sparse.prefix_joins import (
+    AllPairsJoin,
+    PPJoin,
+    TokenOrder,
+    _min_overlap,
+    _pair_overlap_requirement,
+    _size_bounds,
+)
+
+
+class TestTokenOrder:
+    def test_rarest_first(self):
+        sets = [
+            frozenset({"common", "rare"}),
+            frozenset({"common"}),
+            frozenset({"common", "other"}),
+        ]
+        order = TokenOrder(sets)
+        assert order.sort(sets[0])[0] in ("rare",)
+        assert order.sort(sets[0])[-1] == "common"
+
+    def test_unseen_tokens_last(self):
+        order = TokenOrder([frozenset({"a"})])
+        assert order.sort(frozenset({"a", "zzz"}))[-1] == "zzz"
+
+    def test_deterministic_ties(self):
+        order = TokenOrder([frozenset({"a", "b"})])
+        assert order.sort(frozenset({"b", "a"})) == ["a", "b"]
+
+
+class TestBounds:
+    @pytest.mark.parametrize("measure", ["jaccard", "cosine", "dice"])
+    @pytest.mark.parametrize("threshold", [0.2, 0.5, 0.8])
+    @pytest.mark.parametrize("size", [1, 5, 20])
+    def test_min_overlap_is_sound(self, measure, threshold, size):
+        """No qualifying pair may have overlap below the bound."""
+        from repro.sparse.similarity import similarity_function
+
+        func = similarity_function(measure)
+        bound = _min_overlap(measure, threshold, size)
+        # Try every feasible (other size, overlap) pair; none below the
+        # bound may reach the threshold.
+        for other in range(1, 40):
+            for overlap in range(0, min(size, other) + 1):
+                if func(other, size, overlap) >= threshold:
+                    assert overlap >= bound
+
+    @pytest.mark.parametrize("measure", ["jaccard", "cosine", "dice"])
+    @pytest.mark.parametrize("threshold", [0.3, 0.6, 0.9])
+    def test_size_bounds_sound(self, measure, threshold):
+        from repro.sparse.similarity import similarity_function
+
+        func = similarity_function(measure)
+        query = 10
+        low, high = _size_bounds(measure, threshold, query)
+        for other in range(1, 60):
+            best = func(other, query, min(other, query))
+            if best >= threshold:
+                assert low <= other <= high
+
+    @pytest.mark.parametrize("measure", ["jaccard", "cosine", "dice"])
+    def test_pair_requirement_sound(self, measure):
+        from repro.sparse.similarity import similarity_function
+
+        func = similarity_function(measure)
+        for qs, isz in [(5, 5), (10, 4), (3, 12)]:
+            required = _pair_overlap_requirement(measure, 0.5, qs, isz)
+            for overlap in range(0, min(qs, isz) + 1):
+                if func(isz, qs, overlap) >= 0.5:
+                    assert overlap >= required
+
+
+def _collections_from_texts(left_texts, right_texts):
+    left = EntityCollection(
+        EntityProfile(f"l{i}", {"t": text}) for i, text in enumerate(left_texts)
+    )
+    right = EntityCollection(
+        EntityProfile(f"r{i}", {"t": text}) for i, text in enumerate(right_texts)
+    )
+    return left, right
+
+
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+
+text_strategy = st.lists(
+    st.lists(st.sampled_from(WORDS), min_size=0, max_size=6).map(" ".join),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("engine_cls", [AllPairsJoin, PPJoin])
+    @pytest.mark.parametrize("measure", ["jaccard", "cosine", "dice"])
+    @pytest.mark.parametrize("threshold", [0.3, 0.5, 0.8])
+    def test_matches_scancount_on_fixtures(
+        self, left_collection, right_collection, engine_cls, measure, threshold
+    ):
+        oracle = EpsilonJoin(threshold, model="T1G", measure=measure)
+        engine = engine_cls(threshold, model="T1G", measure=measure)
+        expected = oracle.candidates(left_collection, right_collection)
+        actual = engine.candidates(left_collection, right_collection)
+        assert actual == expected
+
+    @pytest.mark.parametrize("engine_cls", [AllPairsJoin, PPJoin])
+    def test_matches_scancount_on_generated(self, small_generated, engine_cls):
+        for threshold in (0.2, 0.6):
+            oracle = EpsilonJoin(threshold, model="C3G", measure="jaccard")
+            engine = engine_cls(threshold, model="C3G", measure="jaccard")
+            expected = oracle.candidates(
+                small_generated.left, small_generated.right
+            )
+            actual = engine.candidates(
+                small_generated.left, small_generated.right
+            )
+            assert actual == expected
+
+    @given(text_strategy, text_strategy, st.sampled_from([0.25, 0.5, 0.75]))
+    @settings(max_examples=30, deadline=None)
+    def test_property_equivalence(self, left_texts, right_texts, threshold):
+        left, right = _collections_from_texts(left_texts, right_texts)
+        for measure in ("jaccard", "cosine"):
+            oracle = EpsilonJoin(threshold, model="T1G", measure=measure)
+            expected = oracle.candidates(left, right)
+            for engine_cls in (AllPairsJoin, PPJoin):
+                engine = engine_cls(threshold, model="T1G", measure=measure)
+                assert engine.candidates(left, right) == expected
+
+
+class TestFilteringPower:
+    def test_ppjoin_verifies_no_more_than_allpairs(self, small_generated):
+        """The positional filter only removes candidates."""
+        allpairs = AllPairsJoin(0.5, model="C3G", measure="jaccard")
+        ppjoin = PPJoin(0.5, model="C3G", measure="jaccard")
+        allpairs.candidates(small_generated.left, small_generated.right)
+        ppjoin.candidates(small_generated.left, small_generated.right)
+        assert ppjoin.last_pairs_verified <= allpairs.last_pairs_verified
+
+    def test_high_threshold_prunes_harder(self, small_generated):
+        """Prefix filtering gets more selective as t grows — the reason
+        the paper calls these algorithms high-threshold tools."""
+        verified = []
+        for threshold in (0.2, 0.5, 0.8):
+            join = AllPairsJoin(threshold, model="C3G", measure="jaccard")
+            join.candidates(small_generated.left, small_generated.right)
+            verified.append(join.last_pairs_verified)
+        assert verified == sorted(verified, reverse=True)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            AllPairsJoin(1.2)
+        with pytest.raises(ValueError):
+            PPJoin(-0.1)

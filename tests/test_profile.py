@@ -1,0 +1,107 @@
+"""Unit tests for the entity model."""
+
+import pytest
+
+from repro.core.profile import EntityCollection, EntityProfile
+
+
+class TestEntityProfile:
+    def test_value_returns_attribute(self):
+        profile = EntityProfile("p", {"name": "blue grill"})
+        assert profile.value("name") == "blue grill"
+
+    def test_value_missing_attribute_is_empty(self):
+        profile = EntityProfile("p", {"name": "blue grill"})
+        assert profile.value("city") == ""
+
+    def test_value_strips_whitespace(self):
+        profile = EntityProfile("p", {"name": "  blue grill  "})
+        assert profile.value("name") == "blue grill"
+
+    def test_has_value_true(self):
+        assert EntityProfile("p", {"name": "x"}).has_value("name")
+
+    def test_has_value_false_for_empty_string(self):
+        assert not EntityProfile("p", {"name": "   "}).has_value("name")
+
+    def test_has_value_false_for_missing(self):
+        assert not EntityProfile("p", {}).has_value("name")
+
+    def test_text_schema_based(self):
+        profile = EntityProfile("p", {"name": "grill", "city": "salem"})
+        assert profile.text("name") == "grill"
+
+    def test_text_schema_agnostic_concatenates_sorted(self):
+        profile = EntityProfile("p", {"name": "grill", "city": "salem"})
+        assert profile.text() == "salem grill"
+
+    def test_text_skips_empty_values(self):
+        profile = EntityProfile("p", {"name": "grill", "city": ""})
+        assert profile.text() == "grill"
+
+    def test_attribute_names_only_nonempty(self):
+        profile = EntityProfile("p", {"b": "x", "a": "", "c": "y"})
+        assert profile.attribute_names == ("b", "c")
+
+
+class TestEntityCollection:
+    def test_add_assigns_dense_ids(self):
+        collection = EntityCollection()
+        assert collection.add(EntityProfile("x", {})) == 0
+        assert collection.add(EntityProfile("y", {})) == 1
+
+    def test_duplicate_uid_rejected(self):
+        collection = EntityCollection([EntityProfile("x", {})])
+        with pytest.raises(ValueError, match="duplicate uid"):
+            collection.add(EntityProfile("x", {}))
+
+    def test_len_and_getitem(self, left_collection):
+        assert len(left_collection) == 4
+        assert left_collection[0].uid == "a0"
+
+    def test_index_of(self, left_collection):
+        assert left_collection.index_of("a2") == 2
+
+    def test_contains_uid(self, left_collection):
+        assert "a1" in left_collection
+        assert "zz" not in left_collection
+
+    def test_texts_schema_agnostic(self, left_collection):
+        texts = left_collection.texts()
+        assert "sonacore" in texts[0]
+        assert len(texts) == 4
+
+    def test_texts_schema_based(self, left_collection):
+        texts = left_collection.texts("brand")
+        assert texts == ["sonacore", "veltron", "quantix", "sonacore"]
+
+    def test_attribute_names_union(self, left_collection):
+        assert left_collection.attribute_names == ("brand", "title")
+
+    def test_coverage_full(self, left_collection):
+        assert left_collection.coverage("title") == 1.0
+
+    def test_coverage_empty_collection(self):
+        assert EntityCollection().coverage("x") == 0.0
+
+    def test_coverage_partial(self):
+        collection = EntityCollection(
+            [EntityProfile("a", {"x": "1"}), EntityProfile("b", {})]
+        )
+        assert collection.coverage("x") == 0.5
+
+    def test_distinctiveness(self, left_collection):
+        # brands: sonacore, veltron, quantix, sonacore -> 3 distinct of 4.
+        assert left_collection.distinctiveness("brand") == pytest.approx(0.75)
+
+    def test_distinctiveness_no_values(self):
+        assert EntityCollection().distinctiveness("x") == 0.0
+
+    def test_subset(self, left_collection):
+        subset = left_collection.subset([0, 3])
+        assert len(subset) == 2
+        assert subset[1].uid == "a3"
+
+    def test_iteration_order(self, left_collection):
+        uids = [p.uid for p in left_collection]
+        assert uids == ["a0", "a1", "a2", "a3"]

@@ -1,0 +1,92 @@
+"""Property-based tests for the dense substrate (hypothesis + numpy)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dense.crosspolytope import fwht
+from repro.dense.flat_index import FlatIndex
+from repro.dense.hyperplane import probe_sequence
+from repro.dense.partitioned import kmeans
+
+finite_floats = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False,
+    width=32,
+)
+
+
+def matrix_strategy(rows_min=2, rows_max=12, cols=4):
+    return arrays(
+        dtype=np.float32,
+        shape=st.tuples(st.integers(rows_min, rows_max), st.just(cols)),
+        elements=finite_floats,
+    )
+
+
+@given(matrix_strategy())
+@settings(max_examples=40, deadline=None)
+def test_flat_index_top1_matches_brute_force(vectors):
+    index = FlatIndex(vectors, metric="l2")
+    ids, __ = index.search(vectors, k=1)
+    for row, query in zip(ids, vectors):
+        distances = np.linalg.norm(vectors - query, axis=1)
+        best = distances[int(row[0])]
+        assert best <= distances.min() + 1e-4
+
+
+@given(matrix_strategy(), st.integers(1, 5))
+@settings(max_examples=40, deadline=None)
+def test_flat_index_results_sorted_best_first(vectors, k):
+    index = FlatIndex(vectors, metric="l2")
+    __, scores = index.search(vectors[:3], k=k)
+    for row in scores:
+        assert all(row[i] >= row[i + 1] - 1e-5 for i in range(len(row) - 1))
+
+
+@given(matrix_strategy(rows_min=3), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_kmeans_centroids_within_data_hull_bounds(vectors, clusters):
+    centroids = kmeans(vectors, clusters, seed=0)
+    lower = vectors.min() - 1e-5
+    upper = vectors.max() + 1e-5
+    assert np.all(centroids >= lower)
+    assert np.all(centroids <= upper)
+
+
+@given(
+    arrays(
+        dtype=np.float32,
+        shape=st.sampled_from([(4,), (8,), (16,)]),
+        elements=finite_floats,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_fwht_involution_and_norm(vector):
+    n = vector.shape[-1]
+    reconstructed = fwht(fwht(vector)) / n
+    np.testing.assert_allclose(reconstructed, vector, atol=1e-3)
+    # Parseval: ||Hx|| = sqrt(n) ||x||.
+    assert np.linalg.norm(fwht(vector)) == np.float32(
+        np.linalg.norm(fwht(vector))
+    )
+
+
+@given(
+    arrays(
+        dtype=np.float64,
+        shape=st.integers(1, 8).map(lambda n: (n,)),
+        elements=st.floats(0.0, 5.0),
+    ),
+    st.integers(1, 10),
+)
+@settings(max_examples=50, deadline=None)
+def test_probe_sequence_properties(margins, probes):
+    sequence = probe_sequence(margins, probes)
+    # Bounded length, unique probes, starts at the exact bucket.
+    assert 1 <= len(sequence) <= probes
+    assert sequence[0] == ()
+    assert len(set(sequence)) == len(sequence)
+    # Total margins are non-decreasing through the sequence.
+    totals = [sum(margins[list(flips)]) if flips else 0.0 for flips in sequence]
+    assert all(totals[i] <= totals[i + 1] + 1e-9 for i in range(len(totals) - 1))

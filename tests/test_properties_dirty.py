@@ -1,0 +1,49 @@
+"""Property-based tests for the Dirty ER adapter."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateSet
+from repro.dirty.adapter import clusters_to_groundtruth, evaluate_dirty
+
+clusters_strategy = st.lists(
+    st.lists(st.integers(0, 20), min_size=2, max_size=5),
+    min_size=0,
+    max_size=6,
+)
+
+
+@given(clusters_strategy)
+def test_groundtruth_pairs_canonical(clusters):
+    gt = clusters_to_groundtruth(clusters)
+    for left, right in gt:
+        assert left < right
+
+
+@given(clusters_strategy)
+def test_groundtruth_size_bound(clusters):
+    gt = clusters_to_groundtruth(clusters)
+    upper = sum(
+        len(set(c)) * (len(set(c)) - 1) // 2 for c in clusters
+    )
+    assert len(gt) <= upper
+
+
+@given(clusters_strategy, st.integers(21, 40))
+def test_evaluate_dirty_bounds(clusters, size):
+    gt = clusters_to_groundtruth(clusters)
+    candidates = CandidateSet(gt)  # perfect filter
+    evaluation = evaluate_dirty(candidates, gt, size)
+    if len(gt):
+        assert evaluation.pc == 1.0
+        assert evaluation.pq == 1.0
+    assert 0.0 <= evaluation.rr <= 1.0
+
+
+@given(clusters_strategy)
+@settings(max_examples=30)
+def test_overlapping_clusters_merge_pairs(clusters):
+    # Feeding the same clusters twice yields the same groundtruth.
+    once = clusters_to_groundtruth(clusters)
+    twice = clusters_to_groundtruth(list(clusters) + list(clusters))
+    assert once.as_frozenset() == twice.as_frozenset()

@@ -1,0 +1,56 @@
+"""Structural regression tests over all ten registry datasets."""
+
+import pytest
+
+from repro.datasets.registry import DATASET_NAMES, DATASET_SPECS, load_dataset
+
+
+@pytest.mark.parametrize("name", DATASET_NAMES)
+class TestPerDataset:
+    def test_sizes_match_spec(self, name):
+        spec = DATASET_SPECS[name]
+        dataset = load_dataset(name)
+        assert len(dataset.left) == spec.size1
+        assert len(dataset.right) == spec.size2
+        assert len(dataset.groundtruth) == spec.duplicates
+
+    def test_groundtruth_ids_in_range(self, name):
+        dataset = load_dataset(name)
+        for left_id, right_id in dataset.groundtruth:
+            assert 0 <= left_id < len(dataset.left)
+            assert 0 <= right_id < len(dataset.right)
+
+    def test_key_attribute_exists_somewhere(self, name):
+        dataset = load_dataset(name)
+        key = dataset.key_attribute
+        assert dataset.left.coverage(key) > 0.3
+        assert dataset.right.coverage(key) > 0.3
+
+    def test_profiles_nonempty_text(self, name):
+        dataset = load_dataset(name)
+        empty = sum(
+            1
+            for collection in (dataset.left, dataset.right)
+            for profile in collection
+            if not profile.text()
+        )
+        total = len(dataset.left) + len(dataset.right)
+        assert empty / total < 0.01
+
+    def test_duplicates_share_rare_evidence(self, name):
+        """Most duplicate pairs share at least two tokens (the signal
+        every filtering method relies on)."""
+        dataset = load_dataset(name)
+        sharing = 0
+        pairs = list(dataset.groundtruth)[:100]
+        for left_id, right_id in pairs:
+            left_tokens = set(dataset.left[left_id].text().split())
+            right_tokens = set(dataset.right[right_id].text().split())
+            if len(left_tokens & right_tokens) >= 2:
+                sharing += 1
+        assert sharing >= 0.85 * len(pairs)
+
+    def test_uids_disjoint_namespaces(self, name):
+        dataset = load_dataset(name)
+        assert all(p.uid.startswith("L") for p in dataset.left)
+        assert all(p.uid.startswith("R") for p in dataset.right)

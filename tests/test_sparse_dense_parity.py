@@ -1,0 +1,91 @@
+"""Cross-checks between implementations and brute-force references."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import EntityCollection, EntityProfile
+from repro.dense.embeddings import HashedNGramEmbedder
+from repro.dense.knn_search import FaissKNN
+from repro.sparse.knn_join import KNNJoin
+from repro.sparse.scancount import ScanCountIndex
+from repro.sparse.similarity import set_similarity
+from repro.text.tokenizers import RepresentationModel
+
+
+def brute_force_knn_join(left_texts, right_texts, k, model, measure):
+    """Reference kNN join: full pairwise similarities, distinct-value
+    tie rule."""
+    representation = RepresentationModel(model)
+    left_sets = [representation.tokens(t) for t in left_texts]
+    right_sets = [representation.tokens(t) for t in right_texts]
+    pairs = set()
+    for j, query in enumerate(right_sets):
+        scored = sorted(
+            (
+                (set_similarity(left_sets[i], query, measure), i)
+                for i in range(len(left_sets))
+                if left_sets[i] & query
+            ),
+            key=lambda item: (-item[0], item[1]),
+        )
+        distinct = 0
+        previous = None
+        for similarity, i in scored:
+            if similarity != previous:
+                if distinct == k:
+                    break
+                distinct += 1
+                previous = similarity
+            pairs.add((i, j))
+    return pairs
+
+
+class TestKNNJoinParity:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    @pytest.mark.parametrize("measure", ["cosine", "jaccard"])
+    def test_matches_brute_force(self, small_generated, k, measure):
+        join = KNNJoin(k=k, model="C3G", measure=measure)
+        fast = join.candidates(small_generated.left, small_generated.right)
+        reference = brute_force_knn_join(
+            small_generated.left.texts(),
+            small_generated.right.texts(),
+            k,
+            "C3G",
+            measure,
+        )
+        assert fast.as_frozenset() == frozenset(reference)
+
+
+class TestScanCountParity:
+    def test_overlap_counts_match_set_intersections(self, small_generated):
+        model = RepresentationModel("C3G")
+        left_sets = [model.tokens(t) for t in small_generated.left.texts()]
+        index = ScanCountIndex(left_sets)
+        for text in small_generated.right.texts()[:20]:
+            query = model.tokens(text)
+            overlaps = index.overlaps(query)
+            for i, left_set in enumerate(left_sets):
+                expected = len(left_set & query)
+                assert overlaps.get(i, 0) == expected
+
+
+class TestFaissParity:
+    def test_matches_manual_distance_computation(self):
+        left = EntityCollection(
+            [EntityProfile(f"l{i}", {"t": text}) for i, text in enumerate(
+                ["alpha beta", "gamma delta", "epsilon zeta", "eta theta"]
+            )]
+        )
+        right = EntityCollection(
+            [EntityProfile("r0", {"t": "alpha beta"}),
+             EntityProfile("r1", {"t": "gamma delta epsilon"})]
+        )
+        embedder = HashedNGramEmbedder()
+        knn = FaissKNN(k=1, embedder=embedder)
+        candidates = knn.candidates(left, right)
+        left_vectors = embedder.embed_texts(left.texts())
+        right_vectors = embedder.embed_texts(right.texts())
+        for j, query in enumerate(right_vectors):
+            distances = np.linalg.norm(left_vectors - query, axis=1)
+            best = int(np.argmin(distances))
+            assert (best, j) in candidates

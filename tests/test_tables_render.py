@@ -1,0 +1,78 @@
+"""Rendering tests for the table helpers."""
+
+import pytest
+
+from repro.bench.harness import CellResult, ExperimentMatrix
+from repro.bench.tables import (
+    _fmt_runtime,
+    _setting_columns,
+    render_table,
+    table08_blocking_configs,
+    table09_sparse_configs,
+    table10_dense_configs,
+)
+
+
+class TestFormatting:
+    def test_fmt_runtime_milliseconds(self):
+        assert _fmt_runtime(0.0421) == "42ms"
+
+    def test_fmt_runtime_seconds(self):
+        assert _fmt_runtime(3.27) == "3.3s"
+
+    def test_render_table_title(self):
+        table = render_table(["h"], [["x"]], title="My Title")
+        assert table.splitlines()[0] == "My Title"
+
+    def test_render_table_right_aligned(self):
+        table = render_table(["col"], [["1"], ["200"]])
+        rows = table.splitlines()
+        assert rows[-2].endswith("  1") or rows[-2].strip() == "1"
+
+
+class TestSettingColumns:
+    def test_all_agnostic_then_based(self):
+        columns = _setting_columns(["d1", "d5", "d9"])
+        assert columns == [
+            ("d1", "a"), ("d5", "a"), ("d9", "a"), ("d1", "b"), ("d9", "b"),
+        ]
+
+
+class TestConfigTables:
+    def _matrix_with_cell(self, tmp_path):
+        matrix = ExperimentMatrix(
+            datasets=["d1"], cache_path=tmp_path / "m.json"
+        )
+        matrix._results["SBW|d1|a"] = CellResult(
+            method="SBW", dataset="d1", setting="a",
+            pc=0.95, pq=0.4, candidates=10, runtime=0.01, feasible=True,
+            params={"cleaner": "ARCS+WEP", "ratio": 0.5},
+        )
+        matrix._results["EJ|d1|a"] = CellResult(
+            method="EJ", dataset="d1", setting="a",
+            pc=0.95, pq=0.6, candidates=12, runtime=0.02, feasible=True,
+            params={"threshold": 0.4, "model": "C3G"},
+        )
+        matrix._results["FAISS|d1|a"] = CellResult(
+            method="FAISS", dataset="d1", setting="a",
+            pc=0.92, pq=0.2, candidates=60, runtime=0.03, feasible=True,
+            params={"k": 2, "cleaning": True, "reverse": False},
+        )
+        return matrix
+
+    def test_table08_shows_params(self, tmp_path):
+        output = table08_blocking_configs(self._matrix_with_cell(tmp_path))
+        assert "cleaner=ARCS+WEP" in output
+        assert "ratio=0.5" in output
+
+    def test_table09_shows_params(self, tmp_path):
+        output = table09_sparse_configs(self._matrix_with_cell(tmp_path))
+        assert "threshold=0.4" in output
+
+    def test_table10_shows_params(self, tmp_path):
+        output = table10_dense_configs(self._matrix_with_cell(tmp_path))
+        assert "k=2" in output
+
+    def test_missing_cells_dashed(self, tmp_path):
+        output = table09_sparse_configs(self._matrix_with_cell(tmp_path))
+        assert "-" in output  # kNNJ column is absent

@@ -1,0 +1,51 @@
+"""Equivalence property from Section IV-C: the global top-k join equals
+an ε-Join whose threshold is the k-th highest pair similarity."""
+
+import pytest
+
+from repro.sparse.epsilon_join import EpsilonJoin
+from repro.sparse.similarity import set_similarity
+from repro.sparse.topk_join import TopKJoin
+from repro.text.tokenizers import RepresentationModel
+
+
+def all_pair_similarities(dataset, model, measure):
+    representation = RepresentationModel(model)
+    left_sets = [representation.tokens(t) for t in dataset.left.texts()]
+    right_sets = [representation.tokens(t) for t in dataset.right.texts()]
+    sims = []
+    for i, a in enumerate(left_sets):
+        for j, b in enumerate(right_sets):
+            if a & b:
+                sims.append(set_similarity(a, b, measure))
+    return sorted(sims, reverse=True)
+
+
+@pytest.mark.parametrize("k", [1, 5, 20])
+def test_topk_equals_epsilon_at_kth_similarity(small_generated, k):
+    sims = all_pair_similarities(small_generated, "C3G", "cosine")
+    threshold = sims[k - 1]
+    topk = TopKJoin(k, model="C3G", measure="cosine").candidates(
+        small_generated.left, small_generated.right
+    )
+    epsilon = EpsilonJoin(threshold, model="C3G", measure="cosine").candidates(
+        small_generated.left, small_generated.right
+    )
+    assert topk == epsilon
+
+
+def test_topk_keeps_ties_at_cutoff(small_generated):
+    """|top-k| >= k whenever at least k overlapping pairs exist."""
+    join = TopKJoin(10, model="C3G", measure="jaccard")
+    candidates = join.candidates(small_generated.left, small_generated.right)
+    assert len(candidates) >= 10
+
+
+def test_topk_monotone_in_k(small_generated):
+    small = TopKJoin(3, model="C3G").candidates(
+        small_generated.left, small_generated.right
+    )
+    large = TopKJoin(30, model="C3G").candidates(
+        small_generated.left, small_generated.right
+    )
+    assert small.as_frozenset() <= large.as_frozenset()

@@ -1,0 +1,129 @@
+"""White-box tests for tuner internals: sweeps, snapping, materialization."""
+
+import numpy as np
+import pytest
+
+from repro.blocking.metablocking import MetaBlocking
+from repro.blocking.workflow import ComparisonPropagation
+from repro.tuning.blocking import BlockingWorkflowTuner
+from repro.tuning.dense import EmbeddingCache, _first_feasible_k
+from repro.tuning.sparse import _snap_down, tokenize_collection
+
+
+class TestSnapDown:
+    def test_snaps_to_grid(self):
+        assert _snap_down(0.537) == pytest.approx(0.53)
+
+    def test_exact_grid_value_kept(self):
+        assert _snap_down(0.50) == pytest.approx(0.50)
+
+    def test_never_below_minimum(self):
+        assert _snap_down(0.001) == pytest.approx(0.01)
+
+    def test_never_exceeds_input(self):
+        for value in (0.011, 0.5, 0.999):
+            assert _snap_down(value) <= value + 1e-12
+
+
+class TestFirstFeasibleK:
+    def make_counts(self, n_index, n_queries, k_max):
+        return np.array(
+            [min(k, n_index) * n_queries for k in range(k_max + 1)],
+            dtype=np.int64,
+        )
+
+    def test_picks_first_feasible(self):
+        # 10 duplicates; 8 found at rank 0, 1 more at rank 2, 1 at rank 4.
+        rank_hits = np.array([8.0, 0.0, 1.0, 0.0, 1.0])
+        counts = self.make_counts(100, 50, 5)
+        k, pc, pq, candidates = _first_feasible_k(
+            rank_hits, counts, 10, [1, 2, 3, 4, 5], target=0.9
+        )
+        assert k == 3  # cumulative hits: 8, 8, 9 -> 0.9 reached at k=3
+        assert pc == pytest.approx(0.9)
+        assert candidates == 3 * 50
+
+    def test_infeasible_returns_last_k(self):
+        rank_hits = np.array([1.0, 0.0, 0.0])
+        counts = self.make_counts(10, 5, 3)
+        k, pc, __, __ = _first_feasible_k(
+            rank_hits, counts, 10, [1, 2, 3], target=0.9
+        )
+        assert k == 3
+        assert pc < 0.9
+
+    def test_fractional_hits_from_averaging(self):
+        # Stochastic methods average hits over repetitions.
+        rank_hits = np.array([4.5, 4.5])
+        counts = self.make_counts(10, 10, 2)
+        k, pc, __, __ = _first_feasible_k(
+            rank_hits, counts, 10, [1, 2], target=0.9
+        )
+        assert k == 2
+        assert pc == pytest.approx(0.9)
+
+
+class TestEmbeddingCache:
+    def test_keyed_by_cleaning_flag(self, left_collection):
+        cache = EmbeddingCache()
+        plain = cache.vectors(left_collection, None, False)
+        cleaned = cache.vectors(left_collection, None, True)
+        assert plain.shape == cleaned.shape
+        assert len(cache._cache) == 2
+
+    def test_keyed_by_attribute(self, left_collection):
+        cache = EmbeddingCache()
+        cache.vectors(left_collection, None, False)
+        cache.vectors(left_collection, "title", False)
+        assert len(cache._cache) == 2
+
+    def test_returns_same_object(self, left_collection):
+        cache = EmbeddingCache()
+        a = cache.vectors(left_collection, None, False)
+        b = cache.vectors(left_collection, None, False)
+        assert a is b
+
+
+class TestBuildWorkflow:
+    def test_cp_cleaner(self):
+        tuner = BlockingWorkflowTuner("SBW")
+        workflow = tuner.build_workflow({"cleaner": "CP"})
+        assert isinstance(workflow.cleaner, ComparisonPropagation)
+
+    def test_metablocking_cleaner_parsed(self):
+        tuner = BlockingWorkflowTuner("SBW")
+        workflow = tuner.build_workflow(
+            {"cleaner": "ARCS+RCNP", "purging": True, "ratio": 0.4}
+        )
+        assert isinstance(workflow.cleaner, MetaBlocking)
+        assert workflow.cleaner.scheme == "ARCS"
+        assert workflow.cleaner.pruning == "RCNP"
+        assert workflow.purging is not None
+        assert workflow.filtering.ratio == 0.4
+
+    def test_builder_params_forwarded(self):
+        tuner = BlockingWorkflowTuner("QBW")
+        workflow = tuner.build_workflow({"q": 4, "cleaner": "CP"})
+        assert workflow.builder.q == 4
+
+    def test_suffix_params_forwarded(self):
+        tuner = BlockingWorkflowTuner("SABW")
+        workflow = tuner.build_workflow(
+            {"l_min": 4, "b_max": 20, "cleaner": "CP"}
+        )
+        assert workflow.builder.l_min == 4
+        assert workflow.builder.b_max == 20
+
+
+class TestTokenizeCollection:
+    def test_cleaning_applied(self):
+        sets = tokenize_collection(["the running dogs"], "T1G", True)
+        assert sets[0] == frozenset({"run", "dog"})
+
+    def test_no_cleaning(self):
+        sets = tokenize_collection(["the running dogs"], "T1G", False)
+        assert "the" in sets[0]
+
+    def test_model_applied(self):
+        sets = tokenize_collection(["abc"], "C2G", False)
+        assert sets[0] == frozenset({"ab", "bc"})

@@ -1,0 +1,112 @@
+"""Semantic tests of the Meta-blocking weighting schemes on crafted blocks.
+
+Each scheme has a documented intuition (Section IV-B); these tests verify
+the intuition holds on minimal constructed block collections.
+"""
+
+import pytest
+
+from repro.blocking.blocks import Block, BlockCollection
+from repro.blocking.metablocking import PairGraph
+
+
+def weights_of(blocks, scheme):
+    graph = PairGraph(blocks)
+    return {
+        (int(l), int(r)): w
+        for l, r, w in zip(graph.lefts, graph.rights, graph.weights(scheme))
+    }
+
+
+class TestARCS:
+    def test_promotes_pairs_sharing_smaller_blocks(self):
+        blocks = BlockCollection(
+            [
+                Block("small", (0,), (0,)),           # 1 comparison
+                Block("big", (1, 2, 3), (1, 2, 3)),   # 9 comparisons
+            ]
+        )
+        weights = weights_of(blocks, "ARCS")
+        assert weights[(0, 0)] > weights[(1, 1)]
+
+
+class TestCBS:
+    def test_counts_common_blocks(self):
+        blocks = BlockCollection(
+            [Block("a", (0,), (0,)), Block("b", (0,), (0,)),
+             Block("c", (1,), (1,))]
+        )
+        weights = weights_of(blocks, "CBS")
+        assert weights[(0, 0)] == 2.0
+        assert weights[(1, 1)] == 1.0
+
+
+class TestECBS:
+    def test_discounts_prolific_entities(self):
+        """Two pairs share the same number of blocks, but one involves an
+        entity spread across many blocks — its weight drops."""
+        blocks = BlockCollection(
+            [
+                Block("s1", (0,), (0,)),
+                Block("s2", (1,), (1,)),
+                # Entity 1 (left) also sits in many unrelated blocks.
+                Block("n1", (1,), (9,)),
+                Block("n2", (1,), (8,)),
+                Block("n3", (1,), (7,)),
+            ]
+        )
+        weights = weights_of(blocks, "ECBS")
+        assert weights[(0, 0)] > weights[(1, 1)]
+
+
+class TestJS:
+    def test_jaccard_of_block_ids(self):
+        blocks = BlockCollection(
+            [
+                Block("a", (0,), (0,)),
+                Block("b", (0,), (0,)),
+                Block("c", (0,), (5,)),  # left 0 has a third block
+            ]
+        )
+        weights = weights_of(blocks, "JS")
+        # Pair (0,0): |common|=2, |B_0 left|=3, |B_0 right|=2 -> 2/3.
+        assert weights[(0, 0)] == pytest.approx(2 / 3)
+
+
+class TestEJS:
+    def test_discounts_high_degree_entities(self):
+        blocks = BlockCollection(
+            [
+                Block("a", (0,), (0,)),
+                Block("b", (1,), (1,)),
+                # Left entity 1 participates in many distinct pairs.
+                Block("hub", (1,), (2, 3, 4, 5)),
+            ]
+        )
+        weights = weights_of(blocks, "EJS")
+        assert weights[(0, 0)] > weights[(1, 1)]
+
+
+class TestChiSquared:
+    def test_dependent_cooccurrence_scores_higher(self):
+        """A pair co-occurring in all its blocks is far from independent;
+        a pair sharing one of many blocks is closer to independence."""
+        blocks = BlockCollection(
+            [
+                Block("t1", (0,), (0,)),
+                Block("t2", (0,), (0,)),
+                Block("t3", (0,), (0,)),
+                Block("u1", (1,), (1,)),
+                Block("u2", (1,), (6,)),
+                Block("u3", (7,), (1,)),
+            ]
+        )
+        weights = weights_of(blocks, "X2")
+        assert weights[(0, 0)] > weights[(1, 1)]
+
+    def test_nonnegative(self):
+        blocks = BlockCollection(
+            [Block("a", (0, 1), (0, 1)), Block("b", (0,), (1,))]
+        )
+        for value in weights_of(blocks, "X2").values():
+            assert value >= 0.0
