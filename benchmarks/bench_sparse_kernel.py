@@ -1,0 +1,325 @@
+"""Microbenchmark: CSR ScanCount kernel vs the legacy dict implementation.
+
+Dependency-free (stdlib + numpy + the repro package): generates a
+synthetic Clean-Clean ER dataset, then times
+
+* inverted-index build (dict-of-lists vs CSR arrays),
+* the full overlap pass over all queries (per-query dict merge vs
+  ``batch_overlaps``),
+* complete ε-Join and kNN-Join runs,
+* the ε-Join tuner sweep (per-row scalar similarity + threshold binning
+  vs one vectorized similarity array masked per threshold) — the pass
+  ``tuning/sparse.py`` runs once per (cleaning, model) grid point.
+
+Results are appended as ``{kernel, dataset, wall_s, candidates}`` rows to
+``BENCH_sparse.json`` so successive PRs accumulate a perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sparse_kernel.py \
+        [--size 5000] [--model T1G] [--out BENCH_sparse.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.datasets.generator import DatasetSpec, generate
+from repro.datasets.noise import NoiseProfile
+from repro.sparse.base import batch_similarities
+from repro.sparse.epsilon_join import EpsilonJoin
+from repro.sparse.knn_join import KNNJoin
+from repro.sparse.scancount import LegacyScanCountIndex, ScanCountIndex
+from repro.sparse.similarity import (
+    similarity_function,
+    vector_similarity_function,
+)
+from repro.text.tokenizers import RepresentationModel
+
+MEASURES = ("cosine", "jaccard")
+#: Tuner-style threshold grid (ascending), used for the sweep benches.
+THRESHOLDS = [round(t, 2) for t in np.arange(0.05, 1.0, 0.05)]
+
+
+def timed(function: Callable[[], object]) -> Tuple[float, object]:
+    start = time.perf_counter()
+    result = function()
+    return time.perf_counter() - start, result
+
+
+def make_token_sets(
+    size: int, model: str, seed: int
+) -> Tuple[str, List[FrozenSet[str]], List[FrozenSet[str]]]:
+    """Token sets of both sides of a generated size x size dataset."""
+    spec = DatasetSpec(
+        name=f"bench-{size}x{size}",
+        domain="product",
+        size1=size,
+        size2=size,
+        duplicates=size // 2,
+        seed=seed,
+        noise1=NoiseProfile(typo_rate=0.08, token_drop_rate=0.08),
+        noise2=NoiseProfile(typo_rate=0.12, token_drop_rate=0.08),
+    )
+    dataset = generate(spec)
+    representation = RepresentationModel(model)
+    left = [representation.tokens(t) for t in dataset.left.texts(None)]
+    right = [representation.tokens(t) for t in dataset.right.texts(None)]
+    return spec.name, left, right
+
+
+# ----------------------------------------------------------------------
+# Legacy reference paths (the pre-CSR per-query Python loops).
+# ----------------------------------------------------------------------
+
+
+def legacy_full_scan(
+    index: LegacyScanCountIndex, queries: Sequence[FrozenSet[str]]
+) -> int:
+    """One overlap pass over every query; returns total overlap rows."""
+    rows = 0
+    for query in queries:
+        rows += len(index.overlaps(query))
+    return rows
+
+
+def legacy_epsilon_join(
+    index: LegacyScanCountIndex,
+    queries: Sequence[FrozenSet[str]],
+    threshold: float,
+    measure: str,
+) -> int:
+    func = similarity_function(measure)
+    pairs = 0
+    for query in queries:
+        query_size = len(query)
+        for i, overlap in index.overlaps(query).items():
+            if func(index.size_of(i), query_size, overlap) >= threshold:
+                pairs += 1
+    return pairs
+
+
+def legacy_knn_join(
+    index: LegacyScanCountIndex,
+    queries: Sequence[FrozenSet[str]],
+    k: int,
+    measure: str,
+) -> int:
+    func = similarity_function(measure)
+    pairs = 0
+    for query in queries:
+        query_size = len(query)
+        scored = [
+            (func(index.size_of(i), query_size, overlap), i)
+            for i, overlap in index.overlaps(query).items()
+        ]
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        distinct_values = 0
+        previous = None
+        for similarity, __ in scored:
+            if similarity != previous:
+                if distinct_values == k:
+                    break
+                distinct_values += 1
+                previous = similarity
+            pairs += 1
+    return pairs
+
+
+def legacy_tuner_sweep(
+    index: LegacyScanCountIndex, queries: Sequence[FrozenSet[str]]
+) -> Dict[str, List[int]]:
+    """Candidate counts per (measure, threshold), the legacy way.
+
+    Mirrors the original ``EpsilonJoinTuner`` counting pass: one Python
+    loop over every (query, overlapping set) row, scalar similarity per
+    measure, counts binned per threshold.
+    """
+    functions = {m: similarity_function(m) for m in MEASURES}
+    grid = np.asarray(THRESHOLDS)
+    histograms = {m: [0] * (len(THRESHOLDS) + 1) for m in MEASURES}
+    for query in queries:
+        query_size = len(query)
+        for i, overlap in index.overlaps(query).items():
+            indexed_size = index.size_of(i)
+            for measure in MEASURES:
+                similarity = functions[measure](
+                    indexed_size, query_size, overlap
+                )
+                # Number of grid thresholds <= similarity.
+                histograms[measure][
+                    int(np.searchsorted(grid, similarity, side="right"))
+                ] += 1
+    counts: Dict[str, List[int]] = {}
+    for measure in MEASURES:
+        suffix = np.cumsum(histograms[measure][::-1])[::-1]
+        counts[measure] = [int(c) for c in suffix[1:]]
+    return counts
+
+
+# ----------------------------------------------------------------------
+# CSR kernel paths.
+# ----------------------------------------------------------------------
+
+
+def csr_full_scan(
+    index: ScanCountIndex, queries: Sequence[FrozenSet[str]]
+) -> int:
+    __, set_ids, __counts = index.batch_overlaps(queries)
+    return len(set_ids)
+
+
+def csr_tuner_sweep(
+    index: ScanCountIndex, queries: Sequence[FrozenSet[str]]
+) -> Dict[str, List[int]]:
+    """The batched equivalent: similarity arrays once, masks per point."""
+    query_ptr, set_ids, overlap_counts = index.batch_overlaps(queries)
+    results: Dict[str, List[int]] = {}
+    for measure in MEASURES:
+        similarities = batch_similarities(
+            index, queries, query_ptr, set_ids, overlap_counts, measure
+        )
+        ordered = np.sort(similarities)
+        total = len(ordered)
+        results[measure] = [
+            int(total - np.searchsorted(ordered, threshold, side="left"))
+            for threshold in THRESHOLDS
+        ]
+    return results
+
+
+# ----------------------------------------------------------------------
+# Harness.
+# ----------------------------------------------------------------------
+
+
+def run_benchmarks(
+    size: int, model: str = "T1G", seed: int = 42
+) -> List[Dict[str, object]]:
+    """All kernel-vs-legacy timings as BENCH_sparse.json rows."""
+    dataset_name, left, right = make_token_sets(size, model, seed)
+    dataset_label = f"{dataset_name}-{model}"
+    rows: List[Dict[str, object]] = []
+
+    def record(kernel: str, wall_s: float, candidates: int) -> None:
+        rows.append(
+            {
+                "kernel": kernel,
+                "dataset": dataset_label,
+                "wall_s": round(wall_s, 6),
+                "candidates": int(candidates),
+            }
+        )
+
+    build_legacy_s, legacy = timed(lambda: LegacyScanCountIndex(left))
+    record("index_build_legacy", build_legacy_s, 0)
+    build_csr_s, csr = timed(lambda: ScanCountIndex(left))
+    record("index_build_csr", build_csr_s, 0)
+
+    scan_legacy_s, legacy_rows = timed(lambda: legacy_full_scan(legacy, right))
+    record("batch_query_legacy", scan_legacy_s, legacy_rows)
+    scan_csr_s, csr_rows = timed(lambda: csr_full_scan(csr, right))
+    record("batch_query_csr", scan_csr_s, csr_rows)
+    assert legacy_rows == csr_rows, "overlap row counts diverged"
+
+    threshold = 0.5
+    ejoin_legacy_s, legacy_pairs = timed(
+        lambda: legacy_epsilon_join(legacy, right, threshold, "cosine")
+    )
+    record("ejoin_legacy", ejoin_legacy_s, legacy_pairs)
+
+    def run_ejoin() -> int:
+        query_ptr, set_ids, counts = csr.batch_overlaps(right)
+        sims = batch_similarities(
+            csr, right, query_ptr, set_ids, counts, "cosine"
+        )
+        return int(np.count_nonzero(sims >= threshold))
+
+    ejoin_csr_s, csr_pairs = timed(run_ejoin)
+    record("ejoin_csr", ejoin_csr_s, csr_pairs)
+    assert legacy_pairs == csr_pairs, "e-join candidate counts diverged"
+
+    k = 5
+    knn_legacy_s, knn_legacy_pairs = timed(
+        lambda: legacy_knn_join(legacy, right, k, "cosine")
+    )
+    record("knn_legacy", knn_legacy_s, knn_legacy_pairs)
+    join = KNNJoin(k=k, model=model, measure="cosine")
+
+    def run_knn() -> int:
+        query_ptr, set_ids, counts = csr.batch_overlaps(right)
+        sims = batch_similarities(
+            csr, right, query_ptr, set_ids, counts, "cosine"
+        )
+        query_ids = np.repeat(
+            np.arange(len(right), dtype=np.int64), np.diff(query_ptr)
+        )
+        return len(join._select_batch(query_ids, set_ids, sims))
+
+    knn_csr_s, knn_csr_pairs = timed(run_knn)
+    record("knn_csr", knn_csr_s, knn_csr_pairs)
+    assert knn_legacy_pairs == knn_csr_pairs, "kNN candidate counts diverged"
+
+    sweep_legacy_s, sweep_legacy = timed(
+        lambda: legacy_tuner_sweep(legacy, right)
+    )
+    record(
+        "ejoin_tuner_sweep_legacy", sweep_legacy_s, sum(sweep_legacy["cosine"])
+    )
+    sweep_csr_s, sweep_csr = timed(lambda: csr_tuner_sweep(csr, right))
+    record("ejoin_tuner_sweep_csr", sweep_csr_s, sum(sweep_csr["cosine"]))
+    assert sweep_legacy == sweep_csr, "tuner sweep counts diverged"
+
+    return rows
+
+
+def speedup(rows: Sequence[Dict[str, object]], stage: str) -> float:
+    """legacy / csr wall-clock ratio for one benchmark stage."""
+    by_kernel = {row["kernel"]: row for row in rows}
+    legacy = float(by_kernel[f"{stage}_legacy"]["wall_s"])
+    csr = float(by_kernel[f"{stage}_csr"]["wall_s"])
+    return legacy / csr if csr > 0 else float("inf")
+
+
+def write_rows(rows: Sequence[Dict[str, object]], path: Path) -> None:
+    existing: List[Dict[str, object]] = []
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            existing = []
+    path.write_text(json.dumps(list(existing) + list(rows), indent=2) + "\n")
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=5000,
+                        help="entities per collection (size x size dataset)")
+    parser.add_argument("--model", default="T1G",
+                        help="representation model (T1G ... C5GM)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--out", default="BENCH_sparse.json",
+                        help="output JSON path (rows are appended)")
+    args = parser.parse_args(argv)
+
+    rows = run_benchmarks(args.size, model=args.model, seed=args.seed)
+    write_rows(rows, Path(args.out))
+    for row in rows:
+        print(
+            f"{row['kernel']:>26}  {row['wall_s']:9.4f}s  "
+            f"candidates={row['candidates']}"
+        )
+    for stage in ("index_build", "batch_query", "ejoin", "knn",
+                  "ejoin_tuner_sweep"):
+        print(f"{stage:>26}  speedup x{speedup(rows, stage):.1f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

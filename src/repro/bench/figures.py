@@ -24,8 +24,8 @@ from ..datasets.registry import load_dataset
 from ..datasets.stats import select_best_attribute, text_volume
 from ..dense.embeddings import HashedNGramEmbedder
 from ..dense.flat_index import FlatIndex
+from ..sparse.base import batch_similarities
 from ..sparse.scancount import ScanCountIndex
-from ..sparse.similarity import similarity_function
 from ..tuning.sparse import tokenize_collection
 
 __all__ = [
@@ -104,18 +104,31 @@ def duplicate_rank_distribution(
         indexed_sets = tokenize_collection(indexed_texts, "C5GM", True)
         query_sets = tokenize_collection(query_texts, "C5GM", True)
         index = ScanCountIndex(indexed_sets)
-        cosine = similarity_function("cosine")
-        for query_id, matches in by_query.items():
-            query = query_sets[query_id]
-            scored = sorted(
-                (
-                    (-cosine(index.size_of(i), len(query), overlap), i)
-                    for i, overlap in index.overlaps(query).items()
-                ),
-            )
-            position = {i: rank for rank, (__, i) in enumerate(scored)}
-            for match in matches:
-                ranks.append(min(position.get(match, max_rank), max_rank))
+        query_order = list(by_query)
+        queries = [query_sets[query_id] for query_id in query_order]
+        query_ptr, set_ids, counts = index.batch_overlaps(queries)
+        similarities = batch_similarities(
+            index, queries, query_ptr, set_ids, counts, "cosine"
+        )
+        for position, query_id in enumerate(query_order):
+            start, stop = query_ptr[position], query_ptr[position + 1]
+            ids_slice = set_ids[start:stop]
+            sims_slice = similarities[start:stop]
+            for match in by_query[query_id]:
+                # Rank under the (-similarity, id) sort without sorting:
+                # strictly-better rows plus equal-similarity rows with a
+                # smaller id.  Set ids are ascending within a slice.
+                row = int(np.searchsorted(ids_slice, match))
+                if row == len(ids_slice) or ids_slice[row] != match:
+                    ranks.append(max_rank)
+                    continue
+                better = int(np.count_nonzero(sims_slice > sims_slice[row]))
+                tied = int(
+                    np.count_nonzero(
+                        (sims_slice == sims_slice[row]) & (ids_slice < match)
+                    )
+                )
+                ranks.append(min(better + tied, max_rank))
     else:
         embedder = HashedNGramEmbedder()
         indexed_vectors = embedder.embed_texts(indexed_texts)

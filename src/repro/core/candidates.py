@@ -34,6 +34,17 @@ class CandidateSet:
         """Add the pair (entity ``left`` of E1, entity ``right`` of E2)."""
         self._pairs.add((int(left), int(right)))
 
+    @classmethod
+    def from_arrays(cls, lefts, rights) -> "CandidateSet":
+        """Bulk-build from parallel id arrays (e.g. ``np.divmod`` output).
+
+        ``ndarray.tolist()`` already yields Python ints, so the pair set
+        is assembled in one ``zip`` pass without per-pair ``add`` calls.
+        """
+        result = cls()
+        result._pairs = set(zip(lefts.tolist(), rights.tolist()))
+        return result
+
     def update(self, pairs: Iterable[Pair]) -> None:
         for left, right in pairs:
             self.add(left, right)

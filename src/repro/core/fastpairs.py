@@ -29,7 +29,15 @@ __all__ = [
 def encode_pairs(
     lefts: np.ndarray, rights: np.ndarray, width: int
 ) -> np.ndarray:
-    """Encode parallel id arrays into single int64 keys."""
+    """Encode parallel id arrays into single int64 keys.
+
+    Ids must be non-negative: a negative id would collide with the key of
+    another pair and silently corrupt every downstream PC/PQ figure.
+    """
+    lefts = np.asarray(lefts)
+    rights = np.asarray(rights)
+    if len(lefts) and (lefts.min() < 0 or rights.min() < 0):
+        raise ValueError("entity ids must be non-negative to encode as keys")
     return lefts.astype(np.int64) * width + rights.astype(np.int64)
 
 
@@ -72,9 +80,11 @@ def evaluate_keys(
 
 
 def keys_to_candidate_set(keys: np.ndarray, width: int) -> CandidateSet:
-    """Decode a key array back into a :class:`CandidateSet`."""
-    result = CandidateSet()
-    lefts = (keys // width).tolist()
-    rights = (keys % width).tolist()
-    result.update(zip(lefts, rights))
-    return result
+    """Decode a key array back into a :class:`CandidateSet`.
+
+    One ``np.divmod`` decodes the whole array; the pair set is built by
+    zipping the decoded id lists, with no Python-level ``//``/``%`` per
+    key.
+    """
+    lefts, rights = np.divmod(np.asarray(keys, dtype=np.int64), width)
+    return CandidateSet.from_arrays(lefts, rights)

@@ -1,17 +1,26 @@
 """Sparse vector-based NN methods: set-similarity joins over token sets."""
 
-from .base import SparseNNFilter
+from .base import SparseNNFilter, batch_similarities
 from .epsilon_join import EpsilonJoin
-from .knn_join import DefaultKNNJoin, KNNJoin, default_knn_join
+from .knn_join import (
+    DefaultKNNJoin,
+    KNNJoin,
+    default_knn_join,
+    distinct_similarity_ranks,
+)
 from .prefix_joins import AllPairsJoin, PPJoin, TokenOrder
-from .scancount import ScanCountIndex
+from .scancount import LegacyScanCountIndex, ScanCountIndex
 from .similarity import (
     SIMILARITY_MEASURES,
     cosine,
+    cosine_array,
     dice,
+    dice_array,
     jaccard,
+    jaccard_array,
     set_similarity,
     similarity_function,
+    vector_similarity_function,
 )
 from .topk_join import TopKJoin
 
@@ -21,15 +30,22 @@ __all__ = [
     "DefaultKNNJoin",
     "EpsilonJoin",
     "KNNJoin",
+    "LegacyScanCountIndex",
     "PPJoin",
     "ScanCountIndex",
     "TokenOrder",
     "SparseNNFilter",
     "TopKJoin",
+    "batch_similarities",
     "cosine",
+    "cosine_array",
     "default_knn_join",
     "dice",
+    "dice_array",
+    "distinct_similarity_ranks",
     "jaccard",
+    "jaccard_array",
     "set_similarity",
     "similarity_function",
+    "vector_similarity_function",
 ]

@@ -2,23 +2,59 @@
 
 Both ε-Join and kNN-Join share the same pipeline: optional cleaning
 (stop-word removal + stemming), tokenization under a representation model,
-indexing of one collection with ScanCount, then a query per entity of the
-other collection.  This module factors that pipeline out.
+indexing of one collection with ScanCount, then one *batched* overlap pass
+over the other collection.  This module factors that pipeline out.
+
+The query phase is fully vectorized: :meth:`ScanCountIndex.batch_overlaps`
+returns a CSR triple of overlap counts, similarities are computed on whole
+arrays (:func:`~repro.sparse.similarity.vector_similarity_function`), each
+join selects rows with NumPy masking/ranking (:meth:`_select_batch`), and
+the selected pairs are encoded directly into
+:func:`~repro.core.fastpairs.encode_pairs` keys — no intermediate Python
+sets.  The per-query :meth:`_scored`/:meth:`_select` helpers survive as
+thin compatibility shims over the same kernel.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..core.candidates import CandidateSet
+from ..core.fastpairs import encode_pairs, keys_to_candidate_set, unique_keys
 from ..core.filters import Filter
 from ..core.profile import EntityCollection
 from ..text.cleaning import TextCleaner
 from ..text.tokenizers import RepresentationModel
 from .scancount import ScanCountIndex
-from .similarity import similarity_function
+from .similarity import similarity_function, vector_similarity_function
 
-__all__ = ["SparseNNFilter"]
+__all__ = ["SparseNNFilter", "batch_similarities"]
+
+
+def batch_similarities(
+    index: ScanCountIndex,
+    queries: Sequence[FrozenSet[str]],
+    query_ptr: np.ndarray,
+    set_ids: np.ndarray,
+    counts: np.ndarray,
+    measure: str,
+) -> np.ndarray:
+    """Similarity of every (query, indexed set) overlap row, vectorized.
+
+    ``(query_ptr, set_ids, counts)`` is the CSR triple produced by
+    :meth:`ScanCountIndex.batch_overlaps` for ``queries``.
+    """
+    if len(set_ids) == 0:
+        return np.zeros(0, dtype=np.float64)
+    query_sizes = np.fromiter(
+        (len(query) for query in queries), count=len(queries), dtype=np.int64
+    )
+    sizes_b = np.repeat(query_sizes, np.diff(query_ptr))
+    return vector_similarity_function(measure)(
+        index.sizes[set_ids], sizes_b, counts
+    )
 
 
 class SparseNNFilter(Filter):
@@ -49,6 +85,7 @@ class SparseNNFilter(Filter):
         self.model = RepresentationModel(model)
         self.measure_name = measure.lower()
         self.measure = similarity_function(measure)
+        self.vector_measure = vector_similarity_function(measure)
         self.cleaning = cleaning
         self.reverse = reverse
         self._cleaner = TextCleaner()
@@ -77,18 +114,49 @@ class SparseNNFilter(Filter):
         with self.timer.phase("index"):
             index = ScanCountIndex(indexed)
         with self.timer.phase("query"):
-            candidates = CandidateSet()
-            for query_id, query in enumerate(queries):
-                for indexed_id in self._select(index, query):
-                    if self.reverse:
-                        candidates.add(query_id, indexed_id)
-                    else:
-                        candidates.add(indexed_id, query_id)
+            query_ptr, set_ids, counts = index.batch_overlaps(queries)
+            similarities = batch_similarities(
+                index, queries, query_ptr, set_ids, counts, self.measure_name
+            )
+            query_ids = np.repeat(
+                np.arange(len(queries), dtype=np.int64), np.diff(query_ptr)
+            )
+            rows = self._select_batch(query_ids, set_ids, similarities)
+            if self.reverse:
+                lefts, rights = query_ids[rows], set_ids[rows]
+            else:
+                lefts, rights = set_ids[rows], query_ids[rows]
+            width = max(1, len(right))
+            keys = unique_keys(encode_pairs(lefts, rights, width))
+            candidates = keys_to_candidate_set(keys, width)
         return candidates
 
-    def _select(self, index: ScanCountIndex, query: FrozenSet[str]) -> List[int]:
-        """Indexed ids selected for one query set — join-type specific."""
+    # ------------------------------------------------------------------
+    # Join-type specific selection.
+    # ------------------------------------------------------------------
+
+    def _select_batch(
+        self,
+        query_ids: np.ndarray,
+        set_ids: np.ndarray,
+        similarities: np.ndarray,
+    ) -> np.ndarray:
+        """Row indices (into the flat CSR arrays) selected by the join."""
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Per-query compatibility shims (tests, ablations, external callers).
+    # ------------------------------------------------------------------
+
+    def _select(self, index: ScanCountIndex, query: FrozenSet[str]) -> List[int]:
+        """Indexed ids selected for one query set."""
+        query_ptr, set_ids, counts = index.batch_overlaps([query])
+        similarities = batch_similarities(
+            index, [query], query_ptr, set_ids, counts, self.measure_name
+        )
+        query_ids = np.zeros(len(set_ids), dtype=np.int64)
+        rows = self._select_batch(query_ids, set_ids, similarities)
+        return set_ids[rows].tolist()
 
     def _scored(
         self, index: ScanCountIndex, query: FrozenSet[str]

@@ -8,10 +8,9 @@ their advantage (Section IV-C).
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
+import numpy as np
 
 from .base import SparseNNFilter
-from .scancount import ScanCountIndex
 
 __all__ = ["EpsilonJoin"]
 
@@ -33,12 +32,13 @@ class EpsilonJoin(SparseNNFilter):
         super().__init__(model=model, measure=measure, cleaning=cleaning)
         self.threshold = threshold
 
-    def _select(self, index: ScanCountIndex, query: FrozenSet[str]) -> List[int]:
-        return [
-            set_id
-            for similarity, set_id in self._scored(index, query)
-            if similarity >= self.threshold
-        ]
+    def _select_batch(
+        self,
+        query_ids: np.ndarray,
+        set_ids: np.ndarray,
+        similarities: np.ndarray,
+    ) -> np.ndarray:
+        return np.flatnonzero(similarities >= self.threshold)
 
     def describe(self) -> str:
         return f"{super().describe()} t={self.threshold:.2f}"

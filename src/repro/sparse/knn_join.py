@@ -14,12 +14,48 @@ overlap counts without the size partitioning.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List
+import numpy as np
 
 from .base import SparseNNFilter
-from .scancount import ScanCountIndex
 
-__all__ = ["KNNJoin", "DefaultKNNJoin", "default_knn_join"]
+__all__ = [
+    "KNNJoin",
+    "DefaultKNNJoin",
+    "default_knn_join",
+    "distinct_similarity_ranks",
+]
+
+
+def distinct_similarity_ranks(
+    query_ids: np.ndarray,
+    set_ids: np.ndarray,
+    similarities: np.ndarray,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Per-query distinct-similarity ranks of flat overlap rows.
+
+    Returns ``(order, ranks)``: ``order`` sorts the rows by (query,
+    similarity descending, set id ascending) and ``ranks[p]`` is the
+    number of *distinct* similarity values at or above row ``order[p]``
+    within its query — the paper's tie rule, under which a kNN join keeps
+    every row of rank <= k.  Both arrays are empty for empty input.
+    """
+    if len(similarities) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    order = np.lexsort((set_ids, -similarities, query_ids))
+    ordered_queries = query_ids[order]
+    ordered_sims = similarities[order]
+    new_query = np.empty(len(order), dtype=bool)
+    new_query[0] = True
+    new_query[1:] = ordered_queries[1:] != ordered_queries[:-1]
+    new_value = new_query.copy()
+    new_value[1:] |= ordered_sims[1:] != ordered_sims[:-1]
+    # Global running count of distinct values, rebased per query.
+    value_index = np.cumsum(new_value)
+    query_starts = np.flatnonzero(new_query)
+    rows_per_query = np.diff(np.append(query_starts, len(order)))
+    base = np.repeat(value_index[query_starts] - 1, rows_per_query)
+    return order, value_index - base
 
 
 class KNNJoin(SparseNNFilter):
@@ -42,22 +78,16 @@ class KNNJoin(SparseNNFilter):
         )
         self.k = k
 
-    def _select(self, index: ScanCountIndex, query: FrozenSet[str]) -> List[int]:
-        scored = self._scored(index, query)
-        if not scored:
-            return []
-        scored.sort(key=lambda item: (-item[0], item[1]))
-        selected: List[int] = []
-        distinct_values = 0
-        previous = None
-        for similarity, set_id in scored:
-            if similarity != previous:
-                if distinct_values == self.k:
-                    break
-                distinct_values += 1
-                previous = similarity
-            selected.append(set_id)
-        return selected
+    def _select_batch(
+        self,
+        query_ids: np.ndarray,
+        set_ids: np.ndarray,
+        similarities: np.ndarray,
+    ) -> np.ndarray:
+        order, ranks = distinct_similarity_ranks(
+            query_ids, set_ids, similarities
+        )
+        return order[ranks <= self.k]
 
     def describe(self) -> str:
         return f"{super().describe()} k={self.k}"

@@ -1,4 +1,4 @@
-"""The ScanCount algorithm (Li, Lu and Lu, ICDE 2008).
+"""The ScanCount algorithm (Li, Lu and Lu, ICDE 2008), CSR-vectorized.
 
 ScanCount answers set-overlap queries with an inverted index: every token
 maps to the posting list of indexed sets containing it; a query performs a
@@ -8,17 +8,197 @@ overlap with every indexed set that shares at least one token.
 The paper picks ScanCount for the sparse NN methods because, unlike
 prefix-filter joins, its cost does not degrade at the *low* similarity
 thresholds that ER requires.
+
+Storage layout
+--------------
+The index is stored in CSR (compressed sparse row) form: a vocabulary
+``Dict[str, int]`` maps tokens to dense token ids, ``token_ptr`` (int64,
+length ``vocabulary_size + 1``) delimits each token's slice of
+``postings`` (int32 set ids, ascending within a slice).  A batched query
+concatenates each query's posting slices (contiguous views, no Python
+iteration over postings) and counts them with one ``np.bincount``, so the
+per-element work happens in NumPy rather than in a Python dict-merge
+loop; the results for the whole batch come back as flat CSR arrays.
+
+:class:`LegacyScanCountIndex` retains the original dict-of-lists
+implementation; it exists as the reference point for the parity tests and
+for ``benchmarks/bench_sparse_kernel.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
-__all__ = ["ScanCountIndex"]
+import numpy as np
+
+__all__ = ["ScanCountIndex", "LegacyScanCountIndex"]
 
 
 class ScanCountIndex:
-    """Inverted index over token sets supporting exact overlap counting."""
+    """Inverted index over token sets supporting exact overlap counting.
+
+    Postings are held as contiguous ``(token_ptr, postings)`` int arrays
+    (CSR layout) plus a token vocabulary; see the module docstring.
+    """
+
+    def __init__(self, token_sets: Sequence[FrozenSet[str]]) -> None:
+        sizes: List[int] = []
+        vocabulary: Dict[str, int] = {}
+        token_ids: List[int] = []
+        set_ids: List[int] = []
+        for set_id, tokens in enumerate(token_sets):
+            sizes.append(len(tokens))
+            for token in tokens:
+                token_id = vocabulary.setdefault(token, len(vocabulary))
+                token_ids.append(token_id)
+                set_ids.append(set_id)
+        self._vocabulary = vocabulary
+        self._sizes = np.asarray(sizes, dtype=np.int64)
+        tokens_arr = np.asarray(token_ids, dtype=np.int64)
+        sets_arr = np.asarray(set_ids, dtype=np.int32)
+        counts = np.bincount(tokens_arr, minlength=len(vocabulary)).astype(
+            np.int64
+        )
+        self._token_ptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+        )
+        # Stable sort groups by token while keeping set ids ascending
+        # inside every posting slice (sets were enumerated in order).
+        order = np.argsort(tokens_arr, kind="stable")
+        self._postings_arr = sets_arr[order]
+
+    # ------------------------------------------------------------------
+    # Introspection.
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def size_of(self, set_id: int) -> int:
+        """Cardinality of the indexed set ``set_id``."""
+        return int(self._sizes[set_id])
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Cardinalities of all indexed sets (int64, read-only view)."""
+        return self._sizes
+
+    @property
+    def vocabulary(self) -> Dict[str, int]:
+        """Token -> dense token id mapping (treat as read-only)."""
+        return self._vocabulary
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._vocabulary)
+
+    @property
+    def token_ptr(self) -> np.ndarray:
+        """CSR pointer array: token ``t`` owns ``postings[ptr[t]:ptr[t+1]]``."""
+        return self._token_ptr
+
+    @property
+    def postings(self) -> np.ndarray:
+        """Concatenated posting lists (int32 set ids, CSR order)."""
+        return self._postings_arr
+
+    def __getattr__(self, name: str):
+        if name == "_postings":
+            raise AttributeError(
+                "ScanCountIndex._postings was removed: postings now live in "
+                "contiguous CSR arrays. Use the `token_ptr` / `postings` / "
+                "`vocabulary` properties, or the `overlaps` / "
+                "`batch_overlaps` query API."
+            )
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+
+    def _query_token_ids(self, query: FrozenSet[str]) -> List[int]:
+        vocabulary = self._vocabulary
+        return [
+            vocabulary[token] for token in query if token in vocabulary
+        ]
+
+    def batch_overlaps(
+        self, queries: Sequence[FrozenSet[str]]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact overlaps of every query with every indexed set, batched.
+
+        Returns a CSR triple ``(query_ptr, set_ids, counts)``: query ``q``
+        overlaps indexed set ``set_ids[r]`` on ``counts[r]`` tokens for
+        every row ``r`` in ``query_ptr[q]:query_ptr[q + 1]``.  Within a
+        query the set ids are ascending; sets sharing no token are absent
+        (overlap 0).  Empty and fully out-of-vocabulary queries yield
+        empty slices.
+        """
+        num_sets = len(self._sizes)
+        num_queries = len(queries)
+        lengths = np.zeros(num_queries, dtype=np.int64)
+        ptr = self._token_ptr
+        postings = self._postings_arr
+        id_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
+        if num_sets:
+            for position, query in enumerate(queries):
+                token_ids = self._query_token_ids(query)
+                if not token_ids:
+                    continue
+                if len(token_ids) == 1:
+                    # A posting slice is never empty — view it in place.
+                    token = token_ids[0]
+                    merged = postings[ptr[token] : ptr[token + 1]]
+                else:
+                    merged = np.concatenate(
+                        [
+                            postings[ptr[token] : ptr[token + 1]]
+                            for token in token_ids
+                        ]
+                    )
+                counts_for_query = np.bincount(merged, minlength=num_sets)
+                overlapping = np.flatnonzero(counts_for_query)
+                lengths[position] = len(overlapping)
+                id_parts.append(overlapping)
+                count_parts.append(counts_for_query[overlapping])
+        query_ptr = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(lengths))
+        )
+        if id_parts:
+            set_ids = np.concatenate(id_parts)
+            counts = np.concatenate(count_parts)
+        else:
+            set_ids = np.zeros(0, dtype=np.int64)
+            counts = np.zeros(0, dtype=np.int64)
+        return query_ptr, set_ids, counts
+
+    def overlaps(self, query: FrozenSet[str]) -> Dict[int, int]:
+        """Exact overlap of ``query`` with every indexed set sharing a token.
+
+        Sets sharing no token are absent from the result (overlap 0).
+        Thin compatibility wrapper over :meth:`batch_overlaps`.
+        """
+        __, set_ids, counts = self.batch_overlaps([query])
+        return dict(zip(set_ids.tolist(), counts.tolist()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScanCountIndex(sets={len(self)}, "
+            f"vocabulary={self.vocabulary_size}, "
+            f"postings={len(self._postings_arr)}, layout=csr)"
+        )
+
+
+class LegacyScanCountIndex:
+    """Reference dict-of-lists ScanCount (pre-CSR implementation).
+
+    Kept only so the parity tests and the microbenchmark can compare the
+    vectorized kernel against the original per-query Python loop; new code
+    should use :class:`ScanCountIndex`.
+    """
 
     def __init__(self, token_sets: Sequence[FrozenSet[str]]) -> None:
         self._sizes: List[int] = [len(tokens) for tokens in token_sets]
@@ -31,7 +211,6 @@ class ScanCountIndex:
         return len(self._sizes)
 
     def size_of(self, set_id: int) -> int:
-        """Cardinality of the indexed set ``set_id``."""
         return self._sizes[set_id]
 
     @property
@@ -39,10 +218,6 @@ class ScanCountIndex:
         return len(self._postings)
 
     def overlaps(self, query: FrozenSet[str]) -> Dict[int, int]:
-        """Exact overlap of ``query`` with every indexed set sharing a token.
-
-        Sets sharing no token are absent from the result (overlap 0).
-        """
         counts: Dict[int, int] = {}
         for token in query:
             for set_id in self._postings.get(token, ()):
@@ -51,6 +226,6 @@ class ScanCountIndex:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ScanCountIndex(sets={len(self)}, "
+            f"LegacyScanCountIndex(sets={len(self)}, "
             f"vocabulary={self.vocabulary_size})"
         )

@@ -9,6 +9,12 @@ All three measures are normalized to [0, 1]:
 The functions take the set sizes and the overlap, which is how the
 ScanCount index produces them — the token sets themselves never need to be
 materialized again at query time.
+
+Each scalar measure has an array counterpart (``*_array``) operating on
+whole ``(sizes_a, sizes_b, overlaps)`` count arrays at once; they perform
+the same float64 operations in the same order, so results are
+bit-identical with the scalar versions — the batched join kernel relies
+on this for parity with the legacy per-query path.
 """
 
 from __future__ import annotations
@@ -16,11 +22,17 @@ from __future__ import annotations
 import math
 from typing import Callable, FrozenSet, Tuple
 
+import numpy as np
+
 __all__ = [
     "cosine",
     "dice",
     "jaccard",
+    "cosine_array",
+    "dice_array",
+    "jaccard_array",
     "similarity_function",
+    "vector_similarity_function",
     "set_similarity",
     "SIMILARITY_MEASURES",
 ]
@@ -50,13 +62,67 @@ def jaccard(size_a: int, size_b: int, overlap: int) -> float:
     return overlap / union
 
 
+def cosine_array(
+    sizes_a: np.ndarray, sizes_b: np.ndarray, overlaps: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`cosine` over parallel count arrays."""
+    denominator = np.sqrt(
+        np.asarray(sizes_a, dtype=np.int64) * np.asarray(sizes_b, np.int64)
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.asarray(overlaps, dtype=np.float64) / denominator
+    return np.where(denominator > 0.0, result, 0.0)
+
+
+def dice_array(
+    sizes_a: np.ndarray, sizes_b: np.ndarray, overlaps: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`dice` over parallel count arrays."""
+    total = np.asarray(sizes_a, dtype=np.int64) + np.asarray(
+        sizes_b, dtype=np.int64
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = (2.0 * np.asarray(overlaps, dtype=np.float64)) / total
+    return np.where(total > 0, result, 0.0)
+
+
+def jaccard_array(
+    sizes_a: np.ndarray, sizes_b: np.ndarray, overlaps: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`jaccard` over parallel count arrays."""
+    union = (
+        np.asarray(sizes_a, dtype=np.int64)
+        + np.asarray(sizes_b, dtype=np.int64)
+        - np.asarray(overlaps, dtype=np.int64)
+    )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.asarray(overlaps, dtype=np.float64) / union
+    return np.where(union > 0, result, 0.0)
+
+
 _BY_NAME = {"cosine": cosine, "dice": dice, "jaccard": jaccard}
+
+_VECTOR_BY_NAME = {
+    "cosine": cosine_array,
+    "dice": dice_array,
+    "jaccard": jaccard_array,
+}
 
 
 def similarity_function(name: str) -> Callable[[int, int, int], float]:
     """The measure named ``name`` (case-insensitive)."""
     try:
         return _BY_NAME[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown similarity measure {name!r}") from None
+
+
+def vector_similarity_function(
+    name: str,
+) -> Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]:
+    """The array measure named ``name`` (case-insensitive)."""
+    try:
+        return _VECTOR_BY_NAME[name.lower()]
     except KeyError:
         raise ValueError(f"unknown similarity measure {name!r}") from None
 

@@ -31,9 +31,9 @@ import numpy as np
 
 from ..core.profile import EntityCollection
 from ..datasets.generator import ERDataset
+from ..sparse.base import batch_similarities
 from ..sparse.knn_join import KNNJoin
 from ..sparse.scancount import ScanCountIndex
-from ..sparse.similarity import similarity_function
 from ..text.tokenizers import word_tokens
 from .sparse import tokenize_collection
 
@@ -97,28 +97,25 @@ class AutoKNNConfigurator:
         """The similarity-gap estimate of the required cardinality."""
         rng = np.random.default_rng(self.seed)
         index = ScanCountIndex(list(indexed_sets))
-        cosine = similarity_function("cosine")
         count = min(self.sample_size, len(query_sets))
         if count == 0:
             return 1
         sample = rng.choice(len(query_sets), size=count, replace=False)
+        queries = [query_sets[int(query_id)] for query_id in sample]
+        query_ptr, set_ids, overlap_counts = index.batch_overlaps(queries)
+        similarities = batch_similarities(
+            index, queries, query_ptr, set_ids, overlap_counts, "cosine"
+        )
         gap_ranks: List[int] = []
-        for query_id in sample:
-            query = query_sets[int(query_id)]
-            scored = sorted(
-                (
-                    cosine(index.size_of(i), len(query), overlap)
-                    for i, overlap in index.overlaps(query).items()
-                ),
-                reverse=True,
-            )[: self.max_k + 1]
+        for position in range(len(queries)):
+            start, stop = query_ptr[position], query_ptr[position + 1]
+            scored = np.sort(similarities[start:stop])[::-1][
+                : self.max_k + 1
+            ]
             if len(scored) < 2:
                 gap_ranks.append(1)
                 continue
-            drops = [
-                scored[position] - scored[position + 1]
-                for position in range(len(scored) - 1)
-            ]
+            drops = scored[:-1] - scored[1:]
             gap_ranks.append(1 + int(np.argmax(drops)))
         return max(1, min(self.max_k, int(np.quantile(gap_ranks, self.quantile))))
 

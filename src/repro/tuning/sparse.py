@@ -1,21 +1,28 @@
 """Configuration optimization of the sparse NN methods (Table IV).
 
 Both joins share the preprocessing grid (cleaning x representation model);
-the tuners tokenize each combination once, run one ScanCount pass over the
-queries, and derive the whole threshold/cardinality sweep from it:
+the tuners tokenize each combination once (memoized across tuners via
+:func:`tokenize_collection`), run one *batched* ScanCount pass over the
+queries, and derive the whole threshold/cardinality sweep from the
+resulting overlap arrays by pure NumPy masking — mirroring how
+``tuning/blocking.py`` shares ``PairGraph`` weights across pruning
+configurations:
 
 * ε-Join — the feasible threshold with maximal PQ is the largest t with
   PC >= τ, i.e. the ceil(τ |D|)-th highest duplicate similarity, snapped
-  down to the paper's 0.01 grid; the candidate count at t is obtained by a
-  counting pass, never materializing the pairs.
-* kNN-Join — ranks are converted to distinct-similarity ranks; the sweep
-  over k uses cumulative histograms, and stops at the first feasible k
-  (the paper's early termination), which also maximizes PQ.
+  down to the paper's 0.01 grid; the candidate count at t is a single
+  ``(sims >= t).sum()`` over the shared similarity array, never
+  materializing the pairs.
+* kNN-Join — ranks are converted to distinct-similarity ranks (the
+  vectorized machinery of :func:`~repro.sparse.knn_join.distinct_similarity_ranks`);
+  the sweep over k uses cumulative histograms, and stops at the first
+  feasible k (the paper's early termination), which also maximizes PQ.
 """
 
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -23,9 +30,9 @@ import numpy as np
 from ..core.optimizer import DEFAULT_RECALL_TARGET, GridSearchOptimizer
 from ..datasets.generator import ERDataset
 from ..sparse.epsilon_join import EpsilonJoin
-from ..sparse.knn_join import KNNJoin
+from ..sparse.knn_join import KNNJoin, distinct_similarity_ranks
 from ..sparse.scancount import ScanCountIndex
-from ..sparse.similarity import similarity_function
+from ..sparse.similarity import vector_similarity_function
 from ..text.cleaning import TextCleaner
 from ..text.tokenizers import RepresentationModel
 from . import spaces
@@ -34,20 +41,112 @@ from .result import TunedResult, better
 __all__ = ["EpsilonJoinTuner", "KNNJoinTuner", "tokenize_collection"]
 
 
+@lru_cache(maxsize=128)
+def _tokenize_cached(
+    texts: Tuple[str, ...], model: str, cleaning: bool
+) -> Tuple[FrozenSet[str], ...]:
+    if cleaning:
+        cleaner = TextCleaner()
+        texts = tuple(cleaner.clean(text) for text in texts)
+    representation = RepresentationModel(model)
+    return tuple(representation.tokens(text) for text in texts)
+
+
 def tokenize_collection(
     texts: Sequence[str], model: str, cleaning: bool
 ) -> List[FrozenSet[str]]:
-    """Token sets of a list of texts under one preprocessing combination."""
-    if cleaning:
-        cleaner = TextCleaner()
-        texts = [cleaner.clean(text) for text in texts]
-    representation = RepresentationModel(model)
-    return [representation.tokens(text) for text in texts]
+    """Token sets of a list of texts under one preprocessing combination.
+
+    Memoized per (texts, model, cleaning): the ε-Join and kNN-Join tuners
+    walk the same (cleaning x model) grid over the same collections, so
+    each corpus is tokenized once instead of once per tuner per measure.
+    """
+    return list(_tokenize_cached(tuple(texts), model, cleaning))
+
+
+def clear_tokenize_cache() -> None:
+    """Drop the memoized token sets (mainly for tests / memory pressure)."""
+    _tokenize_cached.cache_clear()
 
 
 def _snap_down(threshold: float, step: float = 0.01) -> float:
     """Snap a threshold down to the paper's grid (guarantees PC >= τ)."""
     return max(0.01, math.floor(threshold / step) * step)
+
+
+class _OverlapMatrix:
+    """The shared per-(cleaning, model, RVS) overlap state of a tuner.
+
+    One :meth:`ScanCountIndex.batch_overlaps` pass over the query
+    collection, plus the derived flat arrays every measure sweep needs:
+    per-row sizes, query ids, sorted row keys and the groundtruth rows.
+    """
+
+    def __init__(
+        self,
+        indexed_sets: List[FrozenSet[str]],
+        query_sets: List[FrozenSet[str]],
+        gt_pairs: Sequence[Tuple[int, int]],
+    ) -> None:
+        self.index = ScanCountIndex(indexed_sets)
+        num_sets = len(indexed_sets)
+        query_ptr, self.set_ids, self.counts = self.index.batch_overlaps(
+            query_sets
+        )
+        rows_per_query = np.diff(query_ptr)
+        self.query_ids = np.repeat(
+            np.arange(len(query_sets), dtype=np.int64), rows_per_query
+        )
+        query_sizes = np.fromiter(
+            (len(query) for query in query_sets),
+            count=len(query_sets),
+            dtype=np.int64,
+        )
+        self.sizes_a = self.index.sizes[self.set_ids]
+        self.sizes_b = query_sizes[self.query_ids]
+        # Row keys are ascending (query-major, set id minor), so duplicate
+        # pairs can be located with one binary search per pair.
+        self.row_keys = self.query_ids * max(1, num_sets) + self.set_ids
+        pairs = np.asarray(list(gt_pairs), dtype=np.int64).reshape(-1, 2)
+        self.gt_indexed = pairs[:, 0]
+        self.gt_query = pairs[:, 1]
+        self.gt_keys = self.gt_query * max(1, num_sets) + self.gt_indexed
+        self.gt_sizes_a = self.index.sizes[self.gt_indexed]
+        self.gt_sizes_b = query_sizes[self.gt_query]
+        self.gt_overlaps = self._lookup_counts(self.gt_keys)
+
+    def _lookup_counts(self, keys: np.ndarray) -> np.ndarray:
+        """Overlap count per key, 0 for pairs sharing no token."""
+        if len(self.row_keys) == 0 or len(keys) == 0:
+            return np.zeros(len(keys), dtype=np.int64)
+        positions = np.searchsorted(self.row_keys, keys)
+        positions = np.minimum(positions, len(self.row_keys) - 1)
+        matched = self.row_keys[positions] == keys
+        return np.where(matched, self.counts[positions], 0)
+
+    def similarities(self, measure: str) -> np.ndarray:
+        """Similarity of every overlap row under ``measure``."""
+        return vector_similarity_function(measure)(
+            self.sizes_a, self.sizes_b, self.counts
+        )
+
+    def duplicate_similarities(self, measure: str) -> np.ndarray:
+        """Similarity of every groundtruth pair (0 when token-disjoint)."""
+        return vector_similarity_function(measure)(
+            self.gt_sizes_a, self.gt_sizes_b, self.gt_overlaps
+        )
+
+    def duplicate_row_mask(self, order: np.ndarray) -> np.ndarray:
+        """Boolean mask: is row ``order[p]`` a groundtruth pair?"""
+        if len(order) == 0:
+            return np.zeros(0, dtype=bool)
+        gt_sorted = np.sort(self.gt_keys)
+        if len(gt_sorted) == 0:
+            return np.zeros(len(order), dtype=bool)
+        keys = self.row_keys[order]
+        positions = np.searchsorted(gt_sorted, keys)
+        positions = np.minimum(positions, len(gt_sorted) - 1)
+        return gt_sorted[positions] == keys
 
 
 class EpsilonJoinTuner:
@@ -66,70 +165,40 @@ class EpsilonJoinTuner:
     def tune(
         self, dataset: ERDataset, attribute: Optional[str] = None
     ) -> TunedResult:
-        size1, size2 = len(dataset.left), len(dataset.right)
         duplicates = list(dataset.groundtruth)
         needed = math.ceil(self.target_recall * len(duplicates))
         best: Optional[TunedResult] = None
         tried = 0
         measures = spaces.similarity_measures(self.profile)
+        left_texts = dataset.left.texts(attribute)
+        right_texts = dataset.right.texts(attribute)
         for cleaning in (False, True):
-            left_texts = dataset.left.texts(attribute)
-            right_texts = dataset.right.texts(attribute)
             for model in spaces.representation_models(self.profile):
                 left_sets = tokenize_collection(left_texts, model, cleaning)
                 right_sets = tokenize_collection(right_texts, model, cleaning)
-                index = ScanCountIndex(left_sets)
-                # Duplicate similarities per measure -> feasible thresholds.
-                thresholds: Dict[str, Optional[float]] = {}
-                for measure in measures:
-                    func = similarity_function(measure)
-                    sims = sorted(
-                        (
-                            func(
-                                len(left_sets[i]),
-                                len(right_sets[j]),
-                                len(left_sets[i] & right_sets[j]),
-                            )
-                            for i, j in duplicates
-                        ),
-                        reverse=True,
-                    )
-                    if needed == 0 or (
-                        len(sims) >= needed and sims[needed - 1] > 0.0
-                    ):
-                        thresholds[measure] = _snap_down(
-                            sims[needed - 1] if needed else 1.0
-                        )
-                    else:
-                        thresholds[measure] = None  # infeasible combo
-                # One counting pass serves every measure.
-                counts = {m: 0 for m in measures}
-                found = {m: 0 for m in measures}
-                funcs = {m: similarity_function(m) for m in measures}
-                active = [m for m in measures if thresholds[m] is not None]
-                if active:
-                    for j, query in enumerate(right_sets):
-                        query_size = len(query)
-                        for i, overlap in index.overlaps(query).items():
-                            indexed_size = index.size_of(i)
-                            for measure in active:
-                                sim = funcs[measure](
-                                    indexed_size, query_size, overlap
-                                )
-                                if sim >= thresholds[measure]:
-                                    counts[measure] += 1
-                                    if (i, j) in dataset.groundtruth:
-                                        found[measure] += 1
+                matrix = _OverlapMatrix(left_sets, right_sets, duplicates)
                 for measure in measures:
                     tried += 1
-                    threshold = thresholds[measure]
-                    if threshold is None:
-                        continue
-                    total = counts[measure]
-                    pc = (
-                        found[measure] / len(duplicates) if duplicates else 0.0
-                    )
-                    pq = found[measure] / total if total else 0.0
+                    # Feasible threshold: the needed-th highest duplicate
+                    # similarity, snapped down to the 0.01 grid.
+                    dup_sims = np.sort(
+                        matrix.duplicate_similarities(measure)
+                    )[::-1]
+                    if needed == 0:
+                        threshold = _snap_down(1.0)
+                    elif (
+                        len(dup_sims) >= needed and dup_sims[needed - 1] > 0.0
+                    ):
+                        threshold = _snap_down(float(dup_sims[needed - 1]))
+                    else:
+                        continue  # infeasible combo
+                    # The shared similarity array serves every threshold;
+                    # one mask yields both |C| and the duplicates found.
+                    sims = matrix.similarities(measure)
+                    total = int(np.count_nonzero(sims >= threshold))
+                    found = int(np.count_nonzero(dup_sims >= threshold))
+                    pc = found / len(duplicates) if duplicates else 0.0
+                    pq = found / total if total else 0.0
                     best = better(
                         best,
                         TunedResult(
@@ -180,7 +249,6 @@ class KNNJoinTuner:
     def tune(
         self, dataset: ERDataset, attribute: Optional[str] = None
     ) -> TunedResult:
-        size1, size2 = len(dataset.left), len(dataset.right)
         best: Optional[TunedResult] = None
         tried = 0
         k_values = spaces.knn_k_values(self.profile)
@@ -196,9 +264,6 @@ class KNNJoinTuner:
                     indexed_texts = dataset.left.texts(attribute)
                     query_texts = dataset.right.texts(attribute)
                     gt_pairs = list(dataset.groundtruth)
-                gt_by_query: Dict[int, List[int]] = {}
-                for indexed_id, query_id in gt_pairs:
-                    gt_by_query.setdefault(query_id, []).append(indexed_id)
                 for model in spaces.representation_models(self.profile):
                     indexed_sets = tokenize_collection(
                         indexed_texts, model, cleaning
@@ -206,19 +271,14 @@ class KNNJoinTuner:
                     query_sets = tokenize_collection(
                         query_texts, model, cleaning
                     )
-                    index = ScanCountIndex(indexed_sets)
+                    matrix = _OverlapMatrix(indexed_sets, query_sets, gt_pairs)
                     for measure in measures:
                         result = self._sweep(
-                            index,
-                            indexed_sets,
-                            query_sets,
-                            gt_by_query,
+                            matrix,
                             len(dataset.groundtruth),
                             measure,
                             k_values,
                             k_max,
-                            size1,
-                            size2,
                         )
                         tried += len(k_values)
                         if result is None:
@@ -252,47 +312,31 @@ class KNNJoinTuner:
 
     def _sweep(
         self,
-        index: ScanCountIndex,
-        indexed_sets: List[FrozenSet[str]],
-        query_sets: List[FrozenSet[str]],
-        gt_by_query: Dict[int, List[int]],
+        matrix: _OverlapMatrix,
         total_duplicates: int,
         measure: str,
         k_values: List[int],
         k_max: int,
-        size1: int,
-        size2: int,
     ) -> Optional[Tuple[int, float, float, int]]:
         """Evaluate all k at once; return the first feasible (k, pc, pq, |C|).
 
         Uses the join's tie semantics: a candidate's rank is the number of
-        *distinct similarity values* at or above its own.
+        *distinct similarity values* at or above its own.  The whole sweep
+        is two histograms over the shared overlap arrays — no re-querying
+        per k.
         """
-        func = similarity_function(measure)
-        # cumulative candidate counts and duplicate hits per distinct rank.
-        count_hist = np.zeros(k_max + 1, dtype=np.int64)
-        dup_hist = np.zeros(k_max + 1, dtype=np.int64)
-        for query_id, query in enumerate(query_sets):
-            query_size = len(query)
-            scored = [
-                (func(index.size_of(i), query_size, overlap), i)
-                for i, overlap in index.overlaps(query).items()
-            ]
-            if not scored:
-                continue
-            scored.sort(key=lambda item: (-item[0], item[1]))
-            matches = set(gt_by_query.get(query_id, ()))
-            rank = 0
-            previous = None
-            for similarity, indexed_id in scored:
-                if similarity != previous:
-                    rank += 1
-                    previous = similarity
-                    if rank > k_max:
-                        break
-                count_hist[rank] += 1
-                if indexed_id in matches:
-                    dup_hist[rank] += 1
+        similarities = matrix.similarities(measure)
+        order, ranks = distinct_similarity_ranks(
+            matrix.query_ids, matrix.set_ids, similarities
+        )
+        within = ranks <= k_max
+        kept_rows = order[within]
+        kept_ranks = ranks[within]
+        count_hist = np.bincount(kept_ranks, minlength=k_max + 1)[: k_max + 1]
+        is_duplicate = matrix.duplicate_row_mask(kept_rows)
+        dup_hist = np.bincount(
+            kept_ranks[is_duplicate], minlength=k_max + 1
+        )[: k_max + 1]
         counts = np.cumsum(count_hist)
         duplicates = np.cumsum(dup_hist)
         for k in k_values:

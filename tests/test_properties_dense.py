@@ -32,7 +32,11 @@ def test_flat_index_top1_matches_brute_force(vectors):
     for row, query in zip(ids, vectors):
         distances = np.linalg.norm(vectors - query, axis=1)
         best = distances[int(row[0])]
-        assert best <= distances.min() + 1e-4
+        # Compare squared distances: the index computes |a|^2+|b|^2-2ab in
+        # float32, whose cancellation error is absolute in the *squared*
+        # domain — an absolute tolerance on the sqrt flakes near zero.
+        scale = 1.0 + float((vectors ** 2).sum(axis=1).max())
+        assert best ** 2 <= distances.min() ** 2 + 1e-3 * scale
 
 
 @given(matrix_strategy(), st.integers(1, 5))

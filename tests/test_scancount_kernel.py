@@ -1,0 +1,369 @@
+"""Parity suite: the CSR ScanCount kernel vs the legacy dict path.
+
+Every test pits the vectorized implementation (batched CSR kernel, array
+similarities, NumPy selection) against an independent reference: either
+:class:`LegacyScanCountIndex` (the pre-CSR dict-of-lists index) or a
+direct reimplementation of the original per-query join/sweep loops.  The
+join tests require *byte-identical* candidate key arrays, which is what
+lets the benchmark tables trust the kernel swap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.candidates import CandidateSet
+from repro.core.profile import EntityCollection, EntityProfile
+from repro.core.fastpairs import encode_pairs, unique_keys
+from repro.sparse.epsilon_join import EpsilonJoin
+from repro.sparse.knn_join import KNNJoin, distinct_similarity_ranks
+from repro.sparse.scancount import LegacyScanCountIndex, ScanCountIndex
+from repro.sparse.similarity import (
+    similarity_function,
+    vector_similarity_function,
+)
+from repro.sparse.topk_join import TopKJoin
+from repro.text.tokenizers import RepresentationModel
+
+
+VOCABULARY = [f"tok{i}" for i in range(60)]
+OOV = ["oov1", "oov2", "oov3"]
+
+
+def random_token_sets(rng, count, max_size, extra=(), allow_empty=True):
+    """Random frozensets over VOCABULARY (+ optional OOV tokens)."""
+    pool = list(VOCABULARY) + list(extra)
+    sets = []
+    for __ in range(count):
+        low = 0 if allow_empty else 1
+        size = int(rng.integers(low, max_size + 1))
+        sets.append(frozenset(rng.choice(pool, size=size, replace=False)))
+    return sets
+
+
+def overlaps_reference(indexed, query):
+    """Ground-truth overlaps computed with plain set intersections."""
+    return {
+        set_id: len(tokens & query)
+        for set_id, tokens in enumerate(indexed)
+        if tokens & query
+    }
+
+
+class TestBatchOverlapsParity:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomized_parity_with_legacy(self, seed):
+        rng = np.random.default_rng(seed)
+        indexed = random_token_sets(rng, 40, 12)
+        queries = random_token_sets(rng, 30, 12, extra=OOV)
+        queries += [frozenset(), frozenset(OOV)]  # empty + fully-OOV
+        csr = ScanCountIndex(indexed)
+        legacy = LegacyScanCountIndex(indexed)
+        query_ptr, set_ids, counts = csr.batch_overlaps(queries)
+        assert len(query_ptr) == len(queries) + 1
+        for position, query in enumerate(queries):
+            expected = legacy.overlaps(query)
+            assert expected == overlaps_reference(indexed, query)
+            lo, hi = query_ptr[position], query_ptr[position + 1]
+            got = dict(
+                zip(set_ids[lo:hi].tolist(), counts[lo:hi].tolist())
+            )
+            assert got == expected
+            # set ids ascending within each query slice
+            assert np.all(np.diff(set_ids[lo:hi]) > 0)
+            # the per-query compat wrapper serves the same dict
+            assert csr.overlaps(query) == expected
+
+    def test_singleton_postings(self):
+        indexed = [frozenset({"only-here"}), frozenset({"a", "b"})]
+        csr = ScanCountIndex(indexed)
+        assert csr.overlaps(frozenset({"only-here"})) == {0: 1}
+        assert csr.overlaps(frozenset({"a"})) == {1: 1}
+
+    def test_empty_index(self):
+        csr = ScanCountIndex([])
+        query_ptr, set_ids, counts = csr.batch_overlaps(
+            [frozenset({"x"}), frozenset()]
+        )
+        assert list(query_ptr) == [0, 0, 0]
+        assert len(set_ids) == 0 and len(counts) == 0
+        assert csr.overlaps(frozenset({"x"})) == {}
+
+    def test_no_queries(self):
+        csr = ScanCountIndex([frozenset({"a"})])
+        query_ptr, set_ids, counts = csr.batch_overlaps([])
+        assert list(query_ptr) == [0]
+        assert len(set_ids) == 0
+
+    def test_batch_agrees_with_single_query_calls(self):
+        rng = np.random.default_rng(7)
+        indexed = random_token_sets(rng, 25, 8)
+        queries = random_token_sets(rng, 40, 8, extra=OOV)
+        csr = ScanCountIndex(indexed)
+        query_ptr, set_ids, counts = csr.batch_overlaps(queries)
+        for position, query in enumerate(queries):
+            single_ptr, single_ids, single_counts = csr.batch_overlaps(
+                [query]
+            )
+            lo, hi = query_ptr[position], query_ptr[position + 1]
+            np.testing.assert_array_equal(single_ids, set_ids[lo:hi])
+            np.testing.assert_array_equal(single_counts, counts[lo:hi])
+            assert single_ptr[-1] == hi - lo
+
+
+class TestCSRStorage:
+    def test_layout_invariants(self):
+        rng = np.random.default_rng(3)
+        indexed = random_token_sets(rng, 30, 10, allow_empty=False)
+        index = ScanCountIndex(indexed)
+        ptr, postings = index.token_ptr, index.postings
+        assert ptr[0] == 0 and ptr[-1] == len(postings)
+        assert np.all(np.diff(ptr) >= 0)
+        assert postings.dtype == np.int32
+        for token, token_id in index.vocabulary.items():
+            members = postings[ptr[token_id] : ptr[token_id + 1]]
+            assert np.all(np.diff(members) > 0)  # ascending, unique
+            for set_id in members.tolist():
+                assert token in indexed[set_id]
+
+    def test_vocabulary_size_and_len(self):
+        index = ScanCountIndex([frozenset({"a", "b"}), frozenset({"b"})])
+        assert index.vocabulary_size == 2
+        assert len(index) == 2
+        assert index.size_of(0) == 2
+
+    def test_sizes_array(self):
+        index = ScanCountIndex([frozenset({"a", "b"}), frozenset()])
+        np.testing.assert_array_equal(index.sizes, [2, 0])
+
+    def test_postings_attribute_removed(self):
+        index = ScanCountIndex([frozenset({"a"})])
+        with pytest.raises(AttributeError, match="CSR arrays"):
+            index._postings
+        with pytest.raises(AttributeError):
+            index.definitely_not_an_attribute
+
+    def test_repr_reflects_csr_storage(self):
+        index = ScanCountIndex([frozenset({"a", "b"}), frozenset({"b"})])
+        text = repr(index)
+        assert "csr" in text
+        assert "postings=3" in text
+
+
+# ----------------------------------------------------------------------
+# Join parity: byte-identical candidate keys before vs after the kernel.
+# ----------------------------------------------------------------------
+
+
+def make_collections(rng, size_left, size_right):
+    """Random word-soup collections (T1G tokens == the words)."""
+    words = [f"w{i}" for i in range(30)]
+
+    def build(prefix, size):
+        profiles = []
+        for i in range(size):
+            count = int(rng.integers(1, 7))
+            text = " ".join(rng.choice(words, size=count, replace=False))
+            profiles.append(EntityProfile(f"{prefix}{i}", {"title": text}))
+        return EntityCollection(profiles, name=prefix)
+
+    return build("L", size_left), build("R", size_right)
+
+
+def token_sets_of(collection, model):
+    representation = RepresentationModel(model)
+    return [representation.tokens(text) for text in collection.texts(None)]
+
+
+def keys_of(candidates, width):
+    pairs = sorted(candidates.as_frozenset())
+    if not pairs:
+        return np.zeros(0, dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64)
+    return unique_keys(encode_pairs(arr[:, 0], arr[:, 1], width))
+
+
+def legacy_epsilon_pairs(left_sets, right_sets, threshold, measure):
+    index = LegacyScanCountIndex(left_sets)
+    func = similarity_function(measure)
+    pairs = set()
+    for j, query in enumerate(right_sets):
+        for i, overlap in index.overlaps(query).items():
+            if func(index.size_of(i), len(query), overlap) >= threshold:
+                pairs.add((i, j))
+    return pairs
+
+
+def legacy_knn_select(index, query, k, func):
+    scored = [
+        (func(index.size_of(i), len(query), overlap), i)
+        for i, overlap in index.overlaps(query).items()
+    ]
+    scored.sort(key=lambda item: (-item[0], item[1]))
+    selected = []
+    distinct_values = 0
+    previous = None
+    for similarity, set_id in scored:
+        if similarity != previous:
+            if distinct_values == k:
+                break
+            distinct_values += 1
+            previous = similarity
+        selected.append(set_id)
+    return selected
+
+
+def legacy_knn_pairs(left_sets, right_sets, k, measure, reverse):
+    indexed, queries = (
+        (right_sets, left_sets) if reverse else (left_sets, right_sets)
+    )
+    index = LegacyScanCountIndex(indexed)
+    func = similarity_function(measure)
+    pairs = set()
+    for query_id, query in enumerate(queries):
+        for indexed_id in legacy_knn_select(index, query, k, func):
+            if reverse:
+                pairs.add((query_id, indexed_id))
+            else:
+                pairs.add((indexed_id, query_id))
+    return pairs
+
+
+def legacy_topk_pairs(left_sets, right_sets, k, measure):
+    import heapq
+
+    index = LegacyScanCountIndex(left_sets)
+    func = similarity_function(measure)
+
+    def scored(query):
+        return [
+            (func(index.size_of(i), len(query), overlap), i)
+            for i, overlap in index.overlaps(query).items()
+        ]
+
+    heap = []
+    for right_id, query in enumerate(right_sets):
+        for similarity, left_id in scored(query):
+            entry = (similarity, left_id, right_id)
+            if len(heap) < k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+    pairs = set()
+    if heap:
+        cutoff = heap[0][0]
+        for right_id, query in enumerate(right_sets):
+            for similarity, left_id in scored(query):
+                if similarity >= cutoff:
+                    pairs.add((left_id, right_id))
+    return pairs
+
+
+class TestJoinParity:
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("measure", ["cosine", "dice", "jaccard"])
+    def test_epsilon_join_byte_identical(self, seed, measure):
+        rng = np.random.default_rng(seed)
+        left, right = make_collections(rng, 25, 30)
+        width = len(right)
+        for threshold in (0.05, 0.3, 0.7, 1.0):
+            join = EpsilonJoin(
+                threshold=threshold, model="T1G", measure=measure
+            )
+            got = keys_of(join.candidates(left, right), width)
+            expected = legacy_epsilon_pairs(
+                token_sets_of(left, "T1G"),
+                token_sets_of(right, "T1G"),
+                threshold,
+                measure,
+            )
+            expected_keys = keys_of(CandidateSet(expected), width)
+            assert got.tobytes() == expected_keys.tobytes()
+            assert got.dtype == expected_keys.dtype
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("reverse", [False, True])
+    def test_knn_join_byte_identical(self, seed, reverse):
+        rng = np.random.default_rng(10 + seed)
+        left, right = make_collections(rng, 20, 25)
+        width = len(right)
+        for k, measure, model in [
+            (1, "cosine", "T1G"),
+            (3, "jaccard", "C3G"),
+            (5, "dice", "T1G"),
+        ]:
+            join = KNNJoin(
+                k=k, model=model, measure=measure, reverse=reverse
+            )
+            got = keys_of(join.candidates(left, right), width)
+            expected = legacy_knn_pairs(
+                token_sets_of(left, model),
+                token_sets_of(right, model),
+                k,
+                measure,
+                reverse,
+            )
+            expected_keys = keys_of(CandidateSet(expected), width)
+            assert got.tobytes() == expected_keys.tobytes()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_topk_join_byte_identical(self, seed):
+        rng = np.random.default_rng(20 + seed)
+        left, right = make_collections(rng, 15, 18)
+        width = len(right)
+        for k, measure in [(1, "cosine"), (5, "jaccard"), (400, "dice")]:
+            join = TopKJoin(k=k, model="T1G", measure=measure)
+            got = keys_of(join.candidates(left, right), width)
+            expected = legacy_topk_pairs(
+                token_sets_of(left, "T1G"),
+                token_sets_of(right, "T1G"),
+                k,
+                measure,
+            )
+            expected_keys = keys_of(CandidateSet(expected), width)
+            assert got.tobytes() == expected_keys.tobytes()
+
+
+class TestVectorSimilarityParity:
+    @pytest.mark.parametrize("measure", ["cosine", "dice", "jaccard"])
+    def test_bitwise_equal_to_scalar(self, measure):
+        rng = np.random.default_rng(5)
+        sizes_a = rng.integers(0, 40, size=200)
+        sizes_b = rng.integers(0, 40, size=200)
+        overlaps = np.minimum(sizes_a, sizes_b)
+        overlaps = (overlaps * rng.random(200)).astype(np.int64)
+        scalar = similarity_function(measure)
+        vector = vector_similarity_function(measure)
+        got = vector(sizes_a, sizes_b, overlaps)
+        expected = np.array(
+            [
+                scalar(int(a), int(b), int(o))
+                for a, b, o in zip(sizes_a, sizes_b, overlaps)
+            ]
+        )
+        assert got.tobytes() == expected.tobytes()
+
+
+class TestDistinctSimilarityRanks:
+    def test_against_python_reference(self):
+        rng = np.random.default_rng(11)
+        rows = 300
+        query_ids = np.sort(rng.integers(0, 12, size=rows))
+        set_ids_raw = rng.integers(0, 40, size=rows)
+        # Deduplicate (query, set) rows as batch_overlaps guarantees.
+        keys = query_ids * 1000 + set_ids_raw
+        __, first = np.unique(keys, return_index=True)
+        query_ids = query_ids[first]
+        set_ids = set_ids_raw[first]
+        sims = rng.choice([0.1, 0.25, 0.5, 0.75, 1.0], size=len(first))
+        order, ranks = distinct_similarity_ranks(query_ids, set_ids, sims)
+        for row_position, rank in zip(order.tolist(), ranks.tolist()):
+            query = query_ids[row_position]
+            mine = sims[row_position]
+            within = sims[query_ids == query]
+            expected_rank = len(np.unique(within[within >= mine]))
+            assert rank == expected_rank
+
+    def test_empty(self):
+        empty = np.zeros(0, dtype=np.int64)
+        order, ranks = distinct_similarity_ranks(empty, empty, empty)
+        assert len(order) == 0 and len(ranks) == 0

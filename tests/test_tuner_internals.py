@@ -127,3 +127,26 @@ class TestTokenizeCollection:
     def test_model_applied(self):
         sets = tokenize_collection(["abc"], "C2G", False)
         assert sets[0] == frozenset({"ab", "bc"})
+
+    def test_memoized_per_collection_model_cleaning(self):
+        from repro.tuning.sparse import _tokenize_cached, clear_tokenize_cache
+
+        clear_tokenize_cache()
+        texts = ["alpha beta", "gamma delta"]
+        first = tokenize_collection(texts, "T1G", False)
+        hits_before = _tokenize_cached.cache_info().hits
+        second = tokenize_collection(list(texts), "T1G", False)
+        assert _tokenize_cached.cache_info().hits == hits_before + 1
+        assert first == second
+        # Different model / cleaning are distinct cache entries.
+        tokenize_collection(texts, "C2G", False)
+        tokenize_collection(texts, "T1G", True)
+        assert _tokenize_cached.cache_info().currsize >= 3
+        clear_tokenize_cache()
+
+    def test_memoized_result_is_fresh_list(self):
+        texts = ["alpha beta"]
+        first = tokenize_collection(texts, "T1G", False)
+        first.append(frozenset({"mutated"}))
+        second = tokenize_collection(texts, "T1G", False)
+        assert frozenset({"mutated"}) not in second
