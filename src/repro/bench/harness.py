@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..core import registry
 from ..core.optimizer import DEFAULT_RECALL_TARGET
 from ..datasets.generator import ERDataset
 from ..datasets.registry import (
@@ -30,13 +31,7 @@ from ..datasets.registry import (
     SCHEMA_BASED_DATASETS,
     load_dataset,
 )
-from ..tuning import (
-    BASELINES,
-    FINE_TUNED_METHODS,
-    EmbeddingCache,
-    evaluate_baseline,
-    tune_method,
-)
+from ..tuning import EmbeddingCache, evaluate_baseline, tune_method
 from ..tuning.result import TunedResult
 
 __all__ = [
@@ -50,18 +45,14 @@ __all__ = [
 ]
 
 #: Methods in Table VII's row order: fine-tuned + baselines interleaved
-#: per family, matching the paper's presentation.
-ALL_METHODS: Tuple[str, ...] = (
-    "SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW",
-    "EJ", "kNNJ", "DkNN",
-    "MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB", "DDB",
-)
+#: per family, matching the paper's presentation.  Derived from the
+#: central :mod:`repro.core.registry` (the tuning modules register every
+#: :class:`~repro.core.registry.FilterSpec`).
+ALL_METHODS: Tuple[str, ...] = registry.method_codes()
 
 #: (method, dataset) cells the paper reports as "-" (out of memory on the
-#: largest dataset); we mirror them for the same scalability reason.
-EXCLUDED_CELLS: frozenset = frozenset(
-    {("MH-LSH", "d10"), ("DB", "d10"), ("DDB", "d10")}
-)
+#: largest dataset); mirrored from the specs' exclusion rules.
+EXCLUDED_CELLS: frozenset = registry.excluded_cells()
 
 
 def bench_datasets() -> List[str]:
@@ -200,7 +191,7 @@ class ExperimentMatrix:
             return self._results[cache_key]
         dataset = load_dataset(key.dataset)
         attribute = dataset.key_attribute if key.setting == "b" else None
-        if key.method in BASELINES:
+        if registry.get(key.method).is_baseline:
             tuned = evaluate_baseline(
                 key.method,
                 dataset,

@@ -11,20 +11,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..core import registry
 from ..core.filters import Filter
+from ..core.stages import BLOCKING_STAGES, NN_STAGES
 from ..datasets.generator import ERDataset
 from ..datasets.registry import load_dataset
-from ..tuning import BASELINES, make_baseline
-from ..tuning.blocking import WORKFLOW_NAMES, BlockingWorkflowTuner
-from ..tuning.dense import KNNSearchTuner, LSHTuner
-from ..tuning.sparse import EpsilonJoinTuner, KNNJoinTuner
-from .harness import CellResult, ExperimentMatrix
+from .harness import ExperimentMatrix
 
 __all__ = ["PhaseBreakdown", "breakdown_filter", "breakdown_from_matrix"]
 
-#: Phase orderings per family, matching the appendix's decomposition.
-BLOCKING_PHASES = ("build", "purge", "filter", "clean")
-NN_PHASES = ("preprocess", "index", "query")
+#: Phase orderings per family, derived from the canonical stage schemas.
+BLOCKING_PHASES = tuple(stage.name for stage in BLOCKING_STAGES)
+NN_PHASES = tuple(stage.name for stage in NN_STAGES)
 
 
 @dataclass(frozen=True)
@@ -69,26 +67,6 @@ def breakdown_filter(
     )
 
 
-def _materialize(method: str, cell: CellResult) -> Filter:
-    """Rebuild the tuned/baseline filter behind a matrix cell."""
-    if method in BASELINES:
-        return make_baseline(method)
-    if method in WORKFLOW_NAMES:
-        return BlockingWorkflowTuner(method).build_workflow(cell.params)
-    if method == "EJ":
-        return EpsilonJoinTuner().build_filter(cell.params)
-    if method == "kNNJ":
-        return KNNJoinTuner().build_filter(cell.params)
-    if method in ("FAISS", "SCANN", "DB"):
-        codes = {"FAISS": "faiss", "SCANN": "scann", "DB": "deepblocker"}
-        return KNNSearchTuner(codes[method]).build_filter(cell.params)
-    if method in ("MH-LSH", "HP-LSH", "CP-LSH"):
-        return LSHTuner(method.lower()).build_filter(
-            {k: v for k, v in cell.params.items()}
-        )
-    raise ValueError(f"unknown method {method!r}")
-
-
 def breakdown_from_matrix(
     matrix: ExperimentMatrix,
     methods: Sequence[str],
@@ -103,7 +81,7 @@ def breakdown_from_matrix(
         cell = matrix.get(method, dataset_name, setting)
         if cell is None:
             continue
-        filter_ = _materialize(method, cell)
+        filter_ = registry.build_filter(method, cell.params)
         breakdowns.append(
             breakdown_filter(filter_, dataset, method, setting, attribute)
         )

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
+from ..core import registry
 from ..datasets.registry import DATASET_NAMES, load_dataset
 from ..datasets.stats import select_best_attribute
 from .harness import ExperimentMatrix, schema_settings
@@ -153,7 +154,7 @@ def table08_blocking_configs(matrix: ExperimentMatrix) -> str:
     """Table VIII: the best blocking-workflow configurations."""
     return _config_table(
         matrix,
-        ["SBW", "QBW", "EQBW", "SABW", "ESABW"],
+        registry.family_codes("blocking", baselines=False),
         "Table VIII - best blocking workflow configurations",
     )
 
@@ -161,7 +162,9 @@ def table08_blocking_configs(matrix: ExperimentMatrix) -> str:
 def table09_sparse_configs(matrix: ExperimentMatrix) -> str:
     """Table IX: the best sparse-NN configurations."""
     return _config_table(
-        matrix, ["EJ", "kNNJ"], "Table IX - best sparse NN configurations"
+        matrix,
+        registry.family_codes("sparse", baselines=False),
+        "Table IX - best sparse NN configurations",
     )
 
 
@@ -169,7 +172,7 @@ def table10_dense_configs(matrix: ExperimentMatrix) -> str:
     """Table X: the best dense-NN configurations."""
     return _config_table(
         matrix,
-        ["MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB"],
+        registry.family_codes("dense", baselines=False),
         "Table X - best dense NN configurations",
     )
 

@@ -13,6 +13,7 @@ from typing import Optional, Union
 from ..core.candidates import CandidateSet
 from ..core.filters import Filter
 from ..core.profile import EntityCollection
+from ..core.stages import BLOCKING_STAGES, BUILD, CLEAN, FILTER, PURGE
 from .building import BlockBuilder, QGramsBlocking, StandardBlocking
 from .cleaning import BlockFiltering, BlockPurging
 from .metablocking import ComparisonPropagation, MetaBlocking
@@ -42,6 +43,8 @@ class BlockingWorkflow(Filter):
         Comparison Propagation or a configured Meta-blocking instance.
     """
 
+    stages = BLOCKING_STAGES
+
     def __init__(
         self,
         builder: BlockBuilder,
@@ -67,16 +70,22 @@ class BlockingWorkflow(Filter):
         right: EntityCollection,
         attribute: Optional[str],
     ) -> CandidateSet:
-        with self.timer.phase("build"):
+        entities = len(left) + len(right)
+        with self.trace.stage(BUILD, input_size=entities) as build:
             blocks = self.builder.build(left, right, attribute)
+            build.output_size = len(blocks)
         if self.purging is not None:
-            with self.timer.phase("purge"):
-                blocks = self.purging.clean(blocks, len(left) + len(right))
+            with self.trace.stage(PURGE, input_size=len(blocks)) as purge:
+                blocks = self.purging.clean(blocks, entities)
+                purge.output_size = len(blocks)
         if self.filtering is not None:
-            with self.timer.phase("filter"):
+            with self.trace.stage(FILTER, input_size=len(blocks)) as filtering:
                 blocks = self.filtering.clean(blocks)
-        with self.timer.phase("clean"):
-            return self.cleaner.clean(blocks)
+                filtering.output_size = len(blocks)
+        with self.trace.stage(CLEAN, input_size=len(blocks)) as clean:
+            candidates = self.cleaner.clean(blocks)
+            clean.output_size = len(candidates)
+        return candidates
 
     def describe(self) -> str:
         steps = [self.builder.describe()]

@@ -1,8 +1,18 @@
-"""Core types: entity model, candidate sets, metrics, filter interface."""
+"""Core types: entity model, candidate sets, metrics, filter interface,
+the method registry and the stage-trace layer."""
 
+from . import registry
 from .candidates import CandidateSet
 from .filters import Filter, PhaseTimer
 from .groundtruth import GroundTruth
+from .registry import FilterSpec
+from .stages import (
+    BLOCKING_STAGES,
+    NN_STAGES,
+    Stage,
+    StageRecord,
+    StageTrace,
+)
 from .metrics import (
     FilterEvaluation,
     evaluate_candidates,
@@ -15,13 +25,20 @@ from .metrics import (
 from .profile import EntityCollection, EntityProfile
 
 __all__ = [
+    "BLOCKING_STAGES",
+    "NN_STAGES",
     "CandidateSet",
     "EntityCollection",
     "EntityProfile",
     "Filter",
     "FilterEvaluation",
+    "FilterSpec",
     "GroundTruth",
     "PhaseTimer",
+    "Stage",
+    "StageRecord",
+    "StageTrace",
+    "registry",
     "evaluate_candidates",
     "f_measure",
     "pair_completeness",

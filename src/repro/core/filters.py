@@ -5,54 +5,38 @@ input (two entity collections plus the schema setting) and produce the same
 output (a :class:`~repro.core.candidates.CandidateSet`), which is what makes
 the paper's cross-family comparison possible.
 
-Filters also record a per-phase run-time breakdown (:class:`PhaseTimer`),
-used to regenerate Figures 7-9 of the paper.
+Filters declare their execution stages (:data:`~repro.core.stages.BLOCKING_STAGES`
+or :data:`~repro.core.stages.NN_STAGES`) and record a structured per-stage
+trace (:class:`~repro.core.stages.StageTrace`), used to regenerate
+Figures 7-9 of the paper.
 """
 
 from __future__ import annotations
 
 import abc
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Optional, Tuple
 
 from .candidates import CandidateSet
 from .profile import EntityCollection
+from .stages import Stage, StageTrace
 
 __all__ = ["Filter", "PhaseTimer"]
 
 
-class PhaseTimer:
-    """Accumulates wall-clock time per named phase of a filter run."""
+class PhaseTimer(StageTrace):
+    """Backward-compatible alias of :class:`~repro.core.stages.StageTrace`.
 
-    def __init__(self) -> None:
-        self._phases: Dict[str, float] = {}
-
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self._phases[name] = self._phases.get(name, 0.0) + elapsed
-
-    def reset(self) -> None:
-        self._phases.clear()
-
-    def as_dict(self) -> Dict[str, float]:
-        return dict(self._phases)
-
-    @property
-    def total(self) -> float:
-        return sum(self._phases.values())
+    The original flat phase timer grew into the structured stage trace;
+    the old name (and its ``phase(name)`` vocabulary) is kept for
+    external callers and historical tests.
+    """
 
 
 class Filter(abc.ABC):
     """Abstract filtering method.
 
     Subclasses implement :meth:`_run`; :meth:`candidates` wraps it so that
-    the phase timer is reset on every invocation.  ``attribute=None`` selects
+    the stage trace is reset on every invocation.  ``attribute=None`` selects
     schema-agnostic settings (all values concatenated); a named attribute
     selects schema-based settings.
     """
@@ -60,8 +44,17 @@ class Filter(abc.ABC):
     #: Human-readable method name, used in benchmark tables.
     name: str = "filter"
 
+    #: The declared stage schema of this method's family (see
+    #: :mod:`repro.core.stages`); empty for filters that do not trace.
+    stages: Tuple[Stage, ...] = ()
+
     def __init__(self) -> None:
-        self.timer = PhaseTimer()
+        self.trace = StageTrace()
+
+    @property
+    def timer(self) -> StageTrace:
+        """Legacy name of :attr:`trace` (the old ``PhaseTimer`` slot)."""
+        return self.trace
 
     def candidates(
         self,
@@ -70,7 +63,7 @@ class Filter(abc.ABC):
         attribute: Optional[str] = None,
     ) -> CandidateSet:
         """Produce the candidate pairs between ``left`` (E1) and ``right`` (E2)."""
-        self.timer.reset()
+        self.trace.reset()
         return self._run(left, right, attribute)
 
     @abc.abstractmethod
@@ -86,6 +79,14 @@ class Filter(abc.ABC):
     def is_stochastic(self) -> bool:
         """True for methods whose output varies across runs (Table II)."""
         return False
+
+    def reseed(self, seed: int) -> None:
+        """Re-seed the filter's randomness before a repeated run.
+
+        A no-op for deterministic filters; stochastic ones (Table II)
+        override it so :class:`~repro.core.optimizer.GridSearchOptimizer`
+        can average repeated runs under distinct seeds.
+        """
 
     def describe(self) -> str:
         """One-line description of the configured method."""

@@ -63,7 +63,7 @@ class GridSearchOptimizer:
         total_pc = total_pq = total_rr = 0.0
         total_candidates = total_found = 0
         for repetition in range(runs):
-            if filter_.is_stochastic and hasattr(filter_, "reseed"):
+            if filter_.is_stochastic:
                 filter_.reseed(repetition)
             candidates = filter_.candidates(
                 dataset.left, dataset.right, attribute
@@ -79,12 +79,14 @@ class GridSearchOptimizer:
             total_rr += evaluation.rr
             total_candidates += evaluation.candidates
             total_found += evaluation.duplicates_found
+        # Counts are averaged to the nearest integer; floor division
+        # would bias the reported |C| and duplicate counts downward.
         return FilterEvaluation(
             pc=total_pc / runs,
             pq=total_pq / runs,
             rr=total_rr / runs,
-            candidates=total_candidates // runs,
-            duplicates_found=total_found // runs,
+            candidates=round(total_candidates / runs),
+            duplicates_found=round(total_found / runs),
         )
 
     def measure_runtime(

@@ -15,6 +15,7 @@ import numpy as np
 from ..core.candidates import CandidateSet
 from ..core.filters import Filter
 from ..core.profile import EntityCollection
+from ..core.stages import NN_STAGES, PREPROCESS
 from ..text.cleaning import TextCleaner
 from .embeddings import HashedNGramEmbedder
 
@@ -34,6 +35,8 @@ class DenseNNFilter(Filter):
         Shared :class:`HashedNGramEmbedder`; pass one instance across
         filters to share the n-gram cache (a large speed-up in grid searches).
     """
+
+    stages = NN_STAGES
 
     def __init__(
         self,
@@ -61,9 +64,11 @@ class DenseNNFilter(Filter):
         right: EntityCollection,
         attribute: Optional[str],
     ) -> CandidateSet:
-        with self.timer.phase("preprocess"):
+        entities = len(left) + len(right)
+        with self.trace.stage(PREPROCESS, input_size=entities) as preprocess:
             left_vectors = self._embed(left, attribute)
             right_vectors = self._embed(right, attribute)
+            preprocess.output_size = entities
         if self.reverse:
             indexed, queries = right_vectors, left_vectors
         else:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.candidates import CandidateSet
+from ..core.stages import INDEX, QUERY
 from .base import DenseNNFilter
 from .embeddings import HashedNGramEmbedder
 
@@ -163,7 +164,7 @@ class CrossPolytopeLSH(DenseNNFilter):
     ) -> Tuple[Tuple[int, int], ...]:
         padded_dim = _next_power_of_two(indexed.shape[1])
         pairs = set()
-        with self.timer.phase("index"):
+        with self.trace.stage(INDEX, input_size=indexed.shape[0]):
             rotations = self._rotations(padded_dim)
             tables: List[Dict[int, List[int]]] = []
             for table in range(self.tables):
@@ -172,7 +173,7 @@ class CrossPolytopeLSH(DenseNNFilter):
                 for entity, key in enumerate(keys):
                     buckets.setdefault(int(key), []).append(entity)
                 tables.append(buckets)
-        with self.timer.phase("query"):
+        with self.trace.stage(QUERY, input_size=queries.shape[0]) as query:
             probe_runner_up = self.probes > self.tables
             for table in range(self.tables):
                 keys, alternatives = self._bucket_keys(
@@ -187,6 +188,7 @@ class CrossPolytopeLSH(DenseNNFilter):
                             int(alternatives[query_id]), ()
                         ):
                             pairs.add((entity, query_id))
+            query.output_size = len(pairs)
         return tuple(pairs)
 
     def describe(self) -> str:

@@ -22,6 +22,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..core.stages import INDEX, PREPROCESS, QUERY
 from .autoencoder import Autoencoder
 from .base import DenseNNFilter
 from .embeddings import HashedNGramEmbedder
@@ -73,7 +74,7 @@ class DeepBlocker(DenseNNFilter):
     ) -> Tuple[Tuple[int, int], ...]:
         # Training belongs to preprocessing in the paper's run-time
         # decomposition: it is part of building the tuple embeddings.
-        with self.timer.phase("preprocess"):
+        with self.trace.stage(PREPROCESS):
             model = Autoencoder(
                 input_dim=indexed.shape[1],
                 hidden_dim=self.hidden_dim,
@@ -83,15 +84,16 @@ class DeepBlocker(DenseNNFilter):
             model.fit(training, epochs=self.epochs)
             indexed_codes = self._normalize(model.encode(indexed))
             query_codes = self._normalize(model.encode(queries))
-        with self.timer.phase("index"):
+        with self.trace.stage(INDEX, input_size=indexed_codes.shape[0]):
             index = FlatIndex(indexed_codes, metric="l2")
-        with self.timer.phase("query"):
+        with self.trace.stage(QUERY, input_size=query_codes.shape[0]) as query:
             ids, __ = index.search(query_codes, self.k)
             pairs = tuple(
                 (int(indexed_id), query_id)
                 for query_id, row in enumerate(ids)
                 for indexed_id in row
             )
+            query.output_size = len(pairs)
         return pairs
 
     @staticmethod

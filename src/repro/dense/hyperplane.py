@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.candidates import CandidateSet
+from ..core.stages import INDEX, QUERY
 from .base import DenseNNFilter
 from .embeddings import HashedNGramEmbedder
 
@@ -117,7 +118,7 @@ class HyperplaneLSH(DenseNNFilter):
     ) -> Tuple[Tuple[int, int], ...]:
         dim = indexed.shape[1]
         pairs = set()
-        with self.timer.phase("index"):
+        with self.trace.stage(INDEX, input_size=indexed.shape[0]):
             projections = self._projections(dim)
             tables: List[Dict[int, List[int]]] = []
             for projection in projections:
@@ -126,7 +127,7 @@ class HyperplaneLSH(DenseNNFilter):
                 for entity, key in enumerate(keys):
                     buckets.setdefault(int(key), []).append(entity)
                 tables.append(buckets)
-        with self.timer.phase("query"):
+        with self.trace.stage(QUERY, input_size=queries.shape[0]) as query:
             per_table_probes = max(1, self.probes // self.tables)
             for projection, buckets in zip(projections, tables):
                 scores = queries @ projection
@@ -142,6 +143,7 @@ class HyperplaneLSH(DenseNNFilter):
                             key ^= 1 << (self.hashes - 1 - bit)
                         for entity in buckets.get(key, ()):
                             pairs.add((entity, query_id))
+            query.output_size = len(pairs)
         return tuple(pairs)
 
     def describe(self) -> str:

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..core.stages import INDEX, QUERY
 from .base import DenseNNFilter
 from .embeddings import HashedNGramEmbedder
 from .flat_index import FlatIndex
@@ -45,15 +46,16 @@ class FaissKNN(DenseNNFilter):
     def _index_and_query(
         self, indexed: np.ndarray, queries: np.ndarray
     ) -> Tuple[Tuple[int, int], ...]:
-        with self.timer.phase("index"):
+        with self.trace.stage(INDEX, input_size=indexed.shape[0]):
             index = FlatIndex(indexed, metric=self.metric)
-        with self.timer.phase("query"):
+        with self.trace.stage(QUERY, input_size=queries.shape[0]) as query:
             ids, __ = index.search(queries, self.k)
             pairs = tuple(
                 (int(indexed_id), query_id)
                 for query_id, row in enumerate(ids)
                 for indexed_id in row
             )
+            query.output_size = len(pairs)
         return pairs
 
     def describe(self) -> str:
@@ -107,7 +109,7 @@ class ScannKNN(DenseNNFilter):
     def _index_and_query(
         self, indexed: np.ndarray, queries: np.ndarray
     ) -> Tuple[Tuple[int, int], ...]:
-        with self.timer.phase("index"):
+        with self.trace.stage(INDEX, input_size=indexed.shape[0]):
             index = PartitionedIndex(
                 indexed,
                 metric=self.similarity,
@@ -115,7 +117,7 @@ class ScannKNN(DenseNNFilter):
                 quantize=(self.index_type == "AH"),
                 seed=self.seed,
             )
-        with self.timer.phase("query"):
+        with self.trace.stage(QUERY, input_size=queries.shape[0]) as query:
             ids = index.search(
                 queries, self.k, leaves_to_search=self.leaves_to_search
             )
@@ -124,6 +126,7 @@ class ScannKNN(DenseNNFilter):
                 for query_id, row in enumerate(ids)
                 for indexed_id in row
             )
+            query.output_size = len(pairs)
         return pairs
 
     def describe(self) -> str:

@@ -22,6 +22,7 @@ import numpy as np
 from ..core.candidates import CandidateSet
 from ..core.filters import Filter
 from ..core.profile import EntityCollection
+from ..core.stages import INDEX, NN_STAGES, PREPROCESS, QUERY
 from ..text.cleaning import TextCleaner
 from ..text.tokenizers import shingles
 
@@ -55,6 +56,7 @@ class MinHashLSH(Filter):
     """
 
     name = "mh-lsh"
+    stages = NN_STAGES
 
     def __init__(
         self,
@@ -134,13 +136,15 @@ class MinHashLSH(Filter):
         right: EntityCollection,
         attribute: Optional[str],
     ) -> CandidateSet:
-        with self.timer.phase("preprocess"):
+        with self.trace.stage(
+            PREPROCESS, input_size=len(left) + len(right)
+        ):
             a, b = self._hash_family()
             left_sets = self._shingle_sets(left, attribute)
             right_sets = self._shingle_sets(right, attribute)
             left_signatures = [self._signature(s, a, b) for s in left_sets]
             right_signatures = [self._signature(s, a, b) for s in right_sets]
-        with self.timer.phase("index"):
+        with self.trace.stage(INDEX, input_size=len(left_signatures)):
             buckets: Dict[Tuple[int, bytes], List[int]] = {}
             for entity, signature in enumerate(left_signatures):
                 if signature is None:
@@ -148,7 +152,9 @@ class MinHashLSH(Filter):
                 for band in range(self.bands):
                     chunk = signature[band * self.rows : (band + 1) * self.rows]
                     buckets.setdefault((band, chunk.tobytes()), []).append(entity)
-        with self.timer.phase("query"):
+        with self.trace.stage(
+            QUERY, input_size=len(right_signatures)
+        ) as query:
             candidates = CandidateSet()
             for entity, signature in enumerate(right_signatures):
                 if signature is None:
@@ -157,6 +163,7 @@ class MinHashLSH(Filter):
                     chunk = signature[band * self.rows : (band + 1) * self.rows]
                     for match in buckets.get((band, chunk.tobytes()), ()):
                         candidates.add(match, entity)
+            query.output_size = len(candidates)
         return candidates
 
     def describe(self) -> str:

@@ -25,6 +25,7 @@ from ..core.candidates import CandidateSet
 from ..core.fastpairs import encode_pairs, keys_to_candidate_set, unique_keys
 from ..core.filters import Filter
 from ..core.profile import EntityCollection
+from ..core.stages import INDEX, NN_STAGES, PREPROCESS, QUERY
 from ..text.cleaning import TextCleaner
 from ..text.tokenizers import RepresentationModel
 from .scancount import ScanCountIndex
@@ -74,6 +75,8 @@ class SparseNNFilter(Filter):
         joins; the range join is symmetric in its output.
     """
 
+    stages = NN_STAGES
+
     def __init__(
         self,
         model: str = "T1G",
@@ -104,16 +107,18 @@ class SparseNNFilter(Filter):
         right: EntityCollection,
         attribute: Optional[str],
     ) -> CandidateSet:
-        with self.timer.phase("preprocess"):
+        entities = len(left) + len(right)
+        with self.trace.stage(PREPROCESS, input_size=entities) as preprocess:
             left_sets = self._token_sets(left, attribute)
             right_sets = self._token_sets(right, attribute)
+            preprocess.output_size = entities
         if self.reverse:
             indexed, queries = right_sets, left_sets
         else:
             indexed, queries = left_sets, right_sets
-        with self.timer.phase("index"):
+        with self.trace.stage(INDEX, input_size=len(indexed)):
             index = ScanCountIndex(indexed)
-        with self.timer.phase("query"):
+        with self.trace.stage(QUERY, input_size=len(queries)) as query:
             query_ptr, set_ids, counts = index.batch_overlaps(queries)
             similarities = batch_similarities(
                 index, queries, query_ptr, set_ids, counts, self.measure_name
@@ -129,6 +134,7 @@ class SparseNNFilter(Filter):
             width = max(1, len(right))
             keys = unique_keys(encode_pairs(lefts, rights, width))
             candidates = keys_to_candidate_set(keys, width)
+            query.output_size = len(candidates)
         return candidates
 
     # ------------------------------------------------------------------

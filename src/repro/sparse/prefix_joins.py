@@ -40,6 +40,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.candidates import CandidateSet
 from ..core.profile import EntityCollection
+from ..core.stages import INDEX, PREPROCESS, QUERY
 from .base import SparseNNFilter
 
 __all__ = ["TokenOrder", "AllPairsJoin", "PPJoin"]
@@ -129,18 +130,18 @@ class _PrefixJoinBase(SparseNNFilter):
         right: EntityCollection,
         attribute: Optional[str],
     ) -> CandidateSet:
-        with self.timer.phase("preprocess"):
+        with self.trace.stage(PREPROCESS, input_size=len(left) + len(right)):
             left_sets = self._token_sets(left, attribute)
             right_sets = self._token_sets(right, attribute)
             order = TokenOrder(left_sets + right_sets)
             left_sorted = [order.sort(tokens) for tokens in left_sets]
             right_sorted = [order.sort(tokens) for tokens in right_sets]
-        with self.timer.phase("index"):
+        with self.trace.stage(INDEX, input_size=len(left_sorted)):
             postings: Dict[str, List[Tuple[int, int]]] = {}
             for set_id, tokens in enumerate(left_sorted):
                 for position, token in enumerate(tokens):
                     postings.setdefault(token, []).append((set_id, position))
-        with self.timer.phase("query"):
+        with self.trace.stage(QUERY, input_size=len(right_sorted)) as query:
             candidates = CandidateSet()
             self.last_candidates_examined = 0
             self.last_pairs_verified = 0
@@ -159,6 +160,7 @@ class _PrefixJoinBase(SparseNNFilter):
                     )
                     if similarity >= self.threshold:
                         candidates.add(indexed_id, query_id)
+            query.output_size = len(candidates)
         return candidates
 
     def _probe(

@@ -21,6 +21,7 @@ import numpy as np
 from ..core.candidates import CandidateSet
 from ..core.fastpairs import encode_pairs, keys_to_candidate_set, unique_keys
 from ..core.profile import EntityCollection
+from ..core.stages import INDEX, PREPROCESS, QUERY
 from .base import SparseNNFilter, batch_similarities
 from .scancount import ScanCountIndex
 
@@ -50,12 +51,12 @@ class TopKJoin(SparseNNFilter):
         right: EntityCollection,
         attribute: Optional[str],
     ) -> CandidateSet:
-        with self.timer.phase("preprocess"):
+        with self.trace.stage(PREPROCESS, input_size=len(left) + len(right)):
             left_sets = self._token_sets(left, attribute)
             right_sets = self._token_sets(right, attribute)
-        with self.timer.phase("index"):
+        with self.trace.stage(INDEX, input_size=len(left_sets)):
             index = ScanCountIndex(left_sets)
-        with self.timer.phase("query"):
+        with self.trace.stage(QUERY, input_size=len(right_sets)) as query:
             query_ptr, set_ids, counts = index.batch_overlaps(right_sets)
             similarities = batch_similarities(
                 index, right_sets, query_ptr, set_ids, counts,
@@ -78,6 +79,7 @@ class TopKJoin(SparseNNFilter):
                 encode_pairs(set_ids[rows], query_ids[rows], width)
             )
             candidates = keys_to_candidate_set(keys, width)
+            query.output_size = len(candidates)
         return candidates
 
     def describe(self) -> str:

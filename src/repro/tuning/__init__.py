@@ -1,7 +1,8 @@
 """Configuration optimization (Problem 1) per method family.
 
-The entry point for benchmark code is :func:`tune_method`, which maps the
-paper's method acronyms to the family-specific tuners:
+The entry point for benchmark code is :func:`tune_method`, which resolves
+the paper's method acronyms through the central
+:mod:`repro.core.registry`:
 
 ========  =============================================
 acronym   method
@@ -23,12 +24,18 @@ DB        DeepBlocker (autoencoder tuple embeddings)
 
 Baselines (PBW, DBW, DkNN, DDB) are evaluated — not tuned — through
 :func:`repro.tuning.baselines.evaluate_baseline`.
+
+Importing this package registers every method's
+:class:`~repro.core.registry.FilterSpec`: the family tuner modules
+(:mod:`.blocking`, :mod:`.sparse`, :mod:`.dense`) and the baselines
+module (:mod:`.baselines`) each register their own specs at import time.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from ..core import registry
 from ..core.optimizer import DEFAULT_RECALL_TARGET
 from ..datasets.generator import ERDataset
 from .baselines import BASELINES, evaluate_baseline, make_baseline
@@ -56,15 +63,9 @@ __all__ = [
     "tune_method",
 ]
 
-#: The 13 fine-tuned methods of Table VII, in the paper's row order.
-FINE_TUNED_METHODS = (
-    "SBW", "QBW", "EQBW", "SABW", "ESABW",
-    "EJ", "kNNJ",
-    "MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB",
-)
-
-_LSH_CODES = {"MH-LSH": "mh-lsh", "HP-LSH": "hp-lsh", "CP-LSH": "cp-lsh"}
-_KNN_CODES = {"FAISS": "faiss", "SCANN": "scann", "DB": "deepblocker"}
+#: The 13 fine-tuned methods of Table VII, in the paper's row order
+#: (derived from the registry the tuner modules populated above).
+FINE_TUNED_METHODS = registry.fine_tuned_codes()
 
 
 def tune_method(
@@ -76,31 +77,7 @@ def tune_method(
     cache: Optional[EmbeddingCache] = None,
 ) -> TunedResult:
     """Run Problem-1 optimization for one method on one dataset/setting."""
-    if method in WORKFLOW_NAMES:
-        tuner = BlockingWorkflowTuner(
-            method, target_recall=target_recall, profile=profile
-        )
-        return tuner.tune(dataset, attribute)
-    if method == "EJ":
-        return EpsilonJoinTuner(
-            target_recall=target_recall, profile=profile
-        ).tune(dataset, attribute)
-    if method == "kNNJ":
-        return KNNJoinTuner(
-            target_recall=target_recall, profile=profile
-        ).tune(dataset, attribute)
-    if method in _LSH_CODES:
-        return LSHTuner(
-            _LSH_CODES[method],
-            target_recall=target_recall,
-            profile=profile,
-            cache=cache,
-        ).tune(dataset, attribute)
-    if method in _KNN_CODES:
-        return KNNSearchTuner(
-            _KNN_CODES[method],
-            target_recall=target_recall,
-            profile=profile,
-            cache=cache,
-        ).tune(dataset, attribute)
-    raise ValueError(f"unknown method {method!r}")
+    tuner = registry.make_tuner(
+        method, target_recall=target_recall, profile=profile, cache=cache
+    )
+    return tuner.tune(dataset, attribute)

@@ -29,6 +29,7 @@ from typing import FrozenSet, List, Optional, Sequence
 
 import numpy as np
 
+from ..core import registry
 from ..core.profile import EntityCollection
 from ..datasets.generator import ERDataset
 from ..sparse.base import batch_similarities
@@ -141,8 +142,15 @@ class AutoKNNConfigurator:
             queries.texts(attribute), model, cleaning=True
         )
         k = self.estimate_k(indexed_sets, query_sets)
-        return KNNJoin(
-            k=k, model=model, measure="cosine", cleaning=True, reverse=reverse
+        return registry.build_filter(
+            "kNNJ",
+            {
+                "k": k,
+                "model": model,
+                "measure": "cosine",
+                "cleaning": True,
+                "reverse": reverse,
+            },
         )
 
     def configure_for(self, dataset: ERDataset, attribute: Optional[str] = None):

@@ -69,3 +69,35 @@ def evaluate_baseline(
         feasible=evaluation.pc >= target_recall,
         configurations_tried=1,
     )
+
+
+# ----------------------------------------------------------------------
+# Registry entries: the baselines interleave with the tuned methods in
+# Table VII's row order (PBW/DBW after the workflows, DkNN after the
+# joins, DDB last).
+# ----------------------------------------------------------------------
+
+
+def _register() -> None:
+    from ..core import registry, stages
+
+    rows = (
+        ("PBW", "blocking", 5, stages.BLOCKING_STAGES, frozenset()),
+        ("DBW", "blocking", 6, stages.BLOCKING_STAGES, frozenset()),
+        ("DkNN", "sparse", 9, stages.NN_STAGES, frozenset()),
+        ("DDB", "dense", 16, stages.NN_STAGES, frozenset({"d10"})),
+    )
+    for code, family, order, schema, excluded in rows:
+        registry.register(
+            registry.FilterSpec(
+                code=code,
+                family=family,
+                order=order,
+                stages=schema,
+                baseline_factory=lambda code=code: make_baseline(code),
+                excluded_datasets=excluded,
+            )
+        )
+
+
+_register()

@@ -207,7 +207,7 @@ class BlockingWorkflowTuner:
     # Materialization.
     # ------------------------------------------------------------------
 
-    def build_workflow(self, params: Dict[str, object]) -> BlockingWorkflow:
+    def build_filter(self, params: Dict[str, object]) -> BlockingWorkflow:
         """A runnable workflow configured with a tuner-produced params dict."""
         builder_params = {
             key: value
@@ -227,3 +227,36 @@ class BlockingWorkflowTuner:
             filtering_ratio=ratio if ratio < 1.0 else None,
             cleaner=cleaner,
         )
+
+    #: Historical name of :meth:`build_filter`, kept for external callers.
+    build_workflow = build_filter
+
+
+# ----------------------------------------------------------------------
+# Registry entries (Table VII rows 1-5).
+# ----------------------------------------------------------------------
+
+
+def _register() -> None:
+    from ..core import registry, stages
+
+    for order, code in enumerate(WORKFLOW_NAMES):
+        registry.register(
+            registry.FilterSpec(
+                code=code,
+                family="blocking",
+                order=order,
+                stages=stages.BLOCKING_STAGES,
+                filter_factory=lambda params, code=code: (
+                    BlockingWorkflowTuner(code).build_filter(params)
+                ),
+                tuner_factory=lambda recall, profile, cache, code=code: (
+                    BlockingWorkflowTuner(
+                        code, target_recall=recall, profile=profile
+                    )
+                ),
+            )
+        )
+
+
+_register()

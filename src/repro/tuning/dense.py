@@ -321,3 +321,69 @@ class LSHTuner:
         )
         result.method = self.method
         return result
+
+
+# ----------------------------------------------------------------------
+# Registry entries (Table VII rows 11-16).
+# ----------------------------------------------------------------------
+
+
+def _register() -> None:
+    from ..core import registry, stages
+
+    lsh_rows = (("MH-LSH", 10), ("CP-LSH", 11), ("HP-LSH", 12))
+    for code, order in lsh_rows:
+        registry.register(
+            registry.FilterSpec(
+                code=code,
+                family="dense",
+                order=order,
+                stages=stages.NN_STAGES,
+                filter_factory=lambda params, code=code.lower(): (
+                    LSHTuner(code).build_filter(params)
+                ),
+                tuner_factory=lambda recall, profile, cache, code=code.lower(): (
+                    LSHTuner(
+                        code,
+                        target_recall=recall,
+                        profile=profile,
+                        cache=cache,
+                    )
+                ),
+                # MinHash signatures over every shingle set exhaust memory
+                # on the largest dataset (the paper's "-" cell).
+                excluded_datasets=(
+                    frozenset({"d10"}) if code == "MH-LSH" else frozenset()
+                ),
+            )
+        )
+    knn_rows = (("FAISS", "faiss", 13), ("SCANN", "scann", 14),
+                ("DB", "deepblocker", 15))
+    for code, internal, order in knn_rows:
+        registry.register(
+            registry.FilterSpec(
+                code=code,
+                family="dense",
+                order=order,
+                stages=stages.NN_STAGES,
+                filter_factory=lambda params, internal=internal: (
+                    KNNSearchTuner(internal).build_filter(params)
+                ),
+                tuner_factory=lambda recall, profile, cache, internal=internal: (
+                    KNNSearchTuner(
+                        internal,
+                        target_recall=recall,
+                        profile=profile,
+                        cache=cache,
+                    )
+                ),
+                # DeepBlocker trains an autoencoder per run; excluded from
+                # the largest dataset like the paper's "-" cell.
+                excluded_datasets=(
+                    frozenset({"d10"}) if code == "DB" else frozenset()
+                ),
+            )
+        )
+
+
+_register()

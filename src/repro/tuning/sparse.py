@@ -358,3 +358,33 @@ class KNNJoinTuner:
             cleaning=bool(params["cleaning"]),
             reverse=bool(params["reverse"]),
         )
+
+
+# ----------------------------------------------------------------------
+# Registry entries (Table VII rows 8-9).
+# ----------------------------------------------------------------------
+
+
+def _register() -> None:
+    from ..core import registry, stages
+
+    for order, (code, tuner_class) in enumerate(
+        (("EJ", EpsilonJoinTuner), ("kNNJ", KNNJoinTuner)), start=7
+    ):
+        registry.register(
+            registry.FilterSpec(
+                code=code,
+                family="sparse",
+                order=order,
+                stages=stages.NN_STAGES,
+                filter_factory=lambda params, cls=tuner_class: (
+                    cls().build_filter(params)
+                ),
+                tuner_factory=lambda recall, profile, cache, cls=tuner_class: (
+                    cls(target_recall=recall, profile=profile)
+                ),
+            )
+        )
+
+
+_register()

@@ -1,10 +1,10 @@
-"""Tests for rebuilding tuned filters from matrix cells (breakdowns)."""
+"""Tests for rebuilding tuned filters from matrix cells via the registry."""
 
 import pytest
 
 from repro.bench.harness import CellResult
-from repro.bench.runtime_breakdown import _materialize
 from repro.blocking.workflow import BlockingWorkflow
+from repro.core import registry
 from repro.dense.crosspolytope import CrossPolytopeLSH
 from repro.dense.deepblocker import DeepBlocker
 from repro.dense.hyperplane import HyperplaneLSH
@@ -22,15 +22,19 @@ def cell(method, **params):
     )
 
 
+def materialize(method, cell_result):
+    return registry.build_filter(method, cell_result.params)
+
+
 class TestMaterialize:
     def test_blocking_workflow(self):
-        filter_ = _materialize(
+        filter_ = materialize(
             "SBW", cell("SBW", purging=True, ratio=0.5, cleaner="ARCS+WEP")
         )
         assert isinstance(filter_, BlockingWorkflow)
 
     def test_epsilon_join(self):
-        filter_ = _materialize(
+        filter_ = materialize(
             "EJ",
             cell("EJ", threshold=0.4, model="C3G", measure="cosine",
                  cleaning=False),
@@ -39,7 +43,7 @@ class TestMaterialize:
         assert filter_.threshold == 0.4
 
     def test_knn_join(self):
-        filter_ = _materialize(
+        filter_ = materialize(
             "kNNJ",
             cell("kNNJ", k=2, model="C3G", measure="cosine", cleaning=True,
                  reverse=True),
@@ -50,12 +54,12 @@ class TestMaterialize:
 
     def test_dense_knn_methods(self):
         assert isinstance(
-            _materialize("FAISS", cell("FAISS", k=3, cleaning=False,
-                                       reverse=False)),
+            materialize("FAISS", cell("FAISS", k=3, cleaning=False,
+                                      reverse=False)),
             FaissKNN,
         )
         assert isinstance(
-            _materialize(
+            materialize(
                 "SCANN",
                 cell("SCANN", k=3, cleaning=False, reverse=False,
                      index_type="AH", similarity="dot"),
@@ -63,27 +67,27 @@ class TestMaterialize:
             ScannKNN,
         )
         assert isinstance(
-            _materialize("DB", cell("DB", k=3, cleaning=True, reverse=True)),
+            materialize("DB", cell("DB", k=3, cleaning=True, reverse=True)),
             DeepBlocker,
         )
 
     def test_lsh_methods(self):
         assert isinstance(
-            _materialize(
+            materialize(
                 "MH-LSH",
                 cell("MH-LSH", bands=32, rows=8, shingle_k=3, cleaning=False),
             ),
             MinHashLSH,
         )
         assert isinstance(
-            _materialize(
+            materialize(
                 "HP-LSH",
                 cell("HP-LSH", tables=4, hashes=8, probes=4, cleaning=False),
             ),
             HyperplaneLSH,
         )
         assert isinstance(
-            _materialize(
+            materialize(
                 "CP-LSH",
                 cell("CP-LSH", tables=4, hashes=1, last_cp_dimension=64,
                      probes=4, cleaning=False),
@@ -92,9 +96,14 @@ class TestMaterialize:
         )
 
     def test_baselines(self):
-        for name in ("PBW", "DBW", "DkNN", "DDB"):
-            assert _materialize(name, cell(name)) is not None
+        for name in registry.baseline_codes():
+            assert materialize(name, cell(name)) is not None
+
+    def test_baseline_params_ignored(self):
+        spec = registry.get("PBW")
+        assert spec.is_baseline
+        assert spec.build_filter({"anything": 1}) is not None
 
     def test_unknown_method(self):
         with pytest.raises(ValueError):
-            _materialize("XYZ", cell("XYZ"))
+            materialize("XYZ", cell("XYZ"))

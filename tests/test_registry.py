@@ -1,0 +1,142 @@
+"""Tests for the central filter registry (repro.core.registry)."""
+
+import pytest
+
+from repro.bench.harness import ALL_METHODS, EXCLUDED_CELLS
+from repro.core import registry
+from repro.core.metrics import evaluate_candidates
+from repro.core.stages import BLOCKING_STAGES, NN_STAGES, Stage
+
+
+class TestConsistency:
+    def test_check_consistency_passes(self):
+        registry.check_consistency()
+
+    def test_bijection_with_all_methods(self):
+        assert registry.method_codes() == tuple(ALL_METHODS)
+        for code in ALL_METHODS:
+            assert registry.is_registered(code)
+
+    def test_table_vii_row_order(self):
+        assert registry.method_codes() == (
+            "SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW",
+            "EJ", "kNNJ", "DkNN",
+            "MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB", "DDB",
+        )
+
+    def test_partition_into_tuned_and_baselines(self):
+        tuned = registry.fine_tuned_codes()
+        baselines = registry.baseline_codes()
+        assert len(tuned) == 13
+        assert baselines == ("PBW", "DBW", "DkNN", "DDB")
+        assert set(tuned) | set(baselines) == set(ALL_METHODS)
+        assert not set(tuned) & set(baselines)
+
+    def test_family_codes(self):
+        assert registry.family_codes("blocking", baselines=False) == (
+            "SBW", "QBW", "EQBW", "SABW", "ESABW"
+        )
+        assert registry.family_codes("blocking") == (
+            "SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW"
+        )
+        assert registry.family_codes("sparse", baselines=False) == (
+            "EJ", "kNNJ"
+        )
+        assert registry.family_codes("dense", baselines=False) == (
+            "MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB"
+        )
+        with pytest.raises(ValueError):
+            registry.family_codes("quantum")
+
+    def test_excluded_cells_match_harness(self):
+        assert registry.excluded_cells() == EXCLUDED_CELLS
+        assert registry.excluded_cells() == frozenset(
+            {("MH-LSH", "d10"), ("DB", "d10"), ("DDB", "d10")}
+        )
+
+    def test_stage_schemas_match_families(self):
+        for spec in registry.all_specs():
+            expected = (
+                BLOCKING_STAGES if spec.family == "blocking" else NN_STAGES
+            )
+            assert spec.stages == expected, spec.code
+            assert spec.phase_names == tuple(s.name for s in expected)
+
+
+class TestSpecValidation:
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            registry.get("XYZ")
+
+    def test_spec_requires_exactly_one_factory(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            registry.FilterSpec(
+                code="X", family="blocking", order=99,
+                stages=BLOCKING_STAGES,
+            )
+        with pytest.raises(ValueError, match="exactly one"):
+            registry.FilterSpec(
+                code="X", family="blocking", order=99,
+                stages=BLOCKING_STAGES,
+                tuner_factory=lambda *a: None,
+                baseline_factory=lambda: None,
+            )
+
+    def test_spec_rejects_unknown_family(self):
+        with pytest.raises(ValueError, match="family"):
+            registry.FilterSpec(
+                code="X", family="quantum", order=99,
+                stages=(Stage("noop"),),
+                baseline_factory=lambda: None,
+            )
+
+    def test_baselines_cannot_be_tuned(self):
+        with pytest.raises(ValueError, match="baseline"):
+            registry.make_tuner("PBW")
+
+
+class TestRoundTrip:
+    """One method per family: rebuilding the tuned filter from its params
+    reproduces the tuner's reported candidates and recall exactly."""
+
+    def _roundtrip(self, code, dataset):
+        tuned = registry.make_tuner(code, profile="fast").tune(dataset)
+        rebuilt = registry.build_filter(code, tuned.params)
+        candidates = rebuilt.candidates(dataset.left, dataset.right, None)
+        evaluation = evaluate_candidates(
+            candidates, dataset.groundtruth, len(dataset.left),
+            len(dataset.right),
+        )
+        assert len(candidates) == tuned.candidates
+        assert evaluation.pc == pytest.approx(tuned.pc)
+        assert evaluation.pq == pytest.approx(tuned.pq)
+        # Bit-identical candidate sets across materializations.
+        again = registry.build_filter(code, tuned.params).candidates(
+            dataset.left, dataset.right, None
+        )
+        assert again.as_frozenset() == candidates.as_frozenset()
+
+    def test_blocking_roundtrip(self, small_generated):
+        self._roundtrip("SBW", small_generated)
+
+    def test_sparse_roundtrip(self, small_generated):
+        self._roundtrip("kNNJ", small_generated)
+
+    def test_dense_roundtrip(self, small_generated):
+        self._roundtrip("FAISS", small_generated)
+
+
+class TestTunerProtocol:
+    def test_make_tuner_defaults(self):
+        tuner = registry.make_tuner("SBW")
+        assert tuner.target_recall == pytest.approx(0.9)
+
+    def test_make_tuner_custom_recall(self):
+        tuner = registry.make_tuner("EJ", target_recall=0.8)
+        assert tuner.target_recall == pytest.approx(0.8)
+
+    def test_every_tuned_spec_builds_a_tuner(self):
+        for code in registry.fine_tuned_codes():
+            tuner = registry.make_tuner(code)
+            assert hasattr(tuner, "tune")
+            assert hasattr(tuner, "build_filter")
