@@ -25,6 +25,13 @@ from .paper_reference import (
     spearman_correlation,
 )
 from .report import ReportBuilder
+from .resilience import (
+    CellStatus,
+    ExecutionPolicy,
+    FaultInjector,
+    TransientError,
+    run_guarded,
+)
 from .runtime_breakdown import (
     BLOCKING_PHASES,
     NN_PHASES,
@@ -51,7 +58,12 @@ __all__ = [
     "PAPER_PQ",
     "PAPER_SETTINGS",
     "CellResult",
+    "CellStatus",
+    "ExecutionPolicy",
     "ExperimentMatrix",
+    "FaultInjector",
+    "TransientError",
+    "run_guarded",
     "PhaseBreakdown",
     "RankSeries",
     "ReportBuilder",

@@ -5,14 +5,21 @@ Usage::
     python -m repro.bench                 # all datasets, fast profile
     python -m repro.bench d1 d2           # a subset
     python -m repro.bench --profile full  # the paper's full grids
+    python -m repro.bench --timeout 900   # 15-minute budget per cell
+
+A run resumes from ``.bench_cache/matrix.json`` automatically: finished
+cells (including failed ones) are skipped, so an interrupted run picks
+up where it left off.
 """
 
 from __future__ import annotations
 
 import argparse
+from typing import Optional, Sequence
 
 from ..datasets.registry import DATASET_NAMES
 from .harness import ExperimentMatrix
+from .resilience import ExecutionPolicy
 from .tables import (
     table06_datasets,
     table07_effectiveness,
@@ -24,7 +31,7 @@ from .tables import (
 from .figures import figure03_dataset_stats
 
 
-def main() -> None:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Run the filtering benchmark and print every table.",
@@ -32,7 +39,7 @@ def main() -> None:
     parser.add_argument(
         "datasets",
         nargs="*",
-        choices=list(DATASET_NAMES) + [[]],
+        metavar="dataset",
         help="datasets to include (default: all ten)",
     )
     parser.add_argument(
@@ -41,10 +48,85 @@ def main() -> None:
         default="fast",
         help="tuning grid size (default: fast)",
     )
-    args = parser.parse_args()
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per cell; a cell that exceeds it is"
+        " recorded as 'timeout' and rendered as '-' (default: none)",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="RSS budget per cell in MiB; exceeding it records the cell"
+        " as 'oom' (default: none)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries (with exponential backoff) for transient errors"
+        " before a cell is recorded as 'error' (default: 2)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="re-raise cell failures instead of recording them as"
+        " '-' cells (the pre-resilience behaviour)",
+    )
+    parser.add_argument(
+        "--save-every",
+        type=int,
+        default=ExperimentMatrix.DEFAULT_SAVE_EVERY,
+        metavar="N",
+        help="flush the result cache every N fresh cells"
+        f" (default: {ExperimentMatrix.DEFAULT_SAVE_EVERY})",
+    )
+    return parser
+
+
+def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
+    """Parse and validate arguments; exits with a clear message on error."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    unknown = [name for name in args.datasets if name not in DATASET_NAMES]
+    if unknown:
+        parser.error(
+            f"unknown dataset(s): {', '.join(unknown)}"
+            f" — valid names are: {', '.join(DATASET_NAMES)}"
+        )
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be a positive number of seconds")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.save_every < 1:
+        parser.error("--save-every must be >= 1")
+    return args
+
+
+def policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
+    return ExecutionPolicy(
+        timeout=args.timeout,
+        memory_budget_mb=args.memory_budget,
+        max_retries=args.max_retries,
+        strict=args.strict,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    args = parse_args(argv)
     datasets = args.datasets or None
 
-    matrix = ExperimentMatrix(datasets=datasets, profile=args.profile)
+    matrix = ExperimentMatrix(
+        datasets=datasets,
+        profile=args.profile,
+        policy=policy_from_args(args),
+        save_every=args.save_every,
+    )
     matrix.run_all()
 
     print()

@@ -59,8 +59,21 @@ class ReportBuilder:
     def _measured_pq(
         self, method: str, dataset: str, setting: str
     ) -> Optional[float]:
+        # get() reports failed (timeout/oom/error) cells as None, so
+        # every statistic below is computed over completed cells only.
         cell = self.matrix.get(method, dataset, setting)
         return cell.pq if cell is not None else None
+
+    def failure_summary(self) -> List[Tuple[str, str, str]]:
+        """(cell label, status, error) of every non-ok cell, if any."""
+        return [
+            (
+                f"{cell.method} @ D{cell.setting}{cell.dataset[1:]}",
+                cell.status,
+                cell.error,
+            )
+            for cell in self.matrix.failures()
+        ]
 
     # ------------------------------------------------------------------
     # Sections.
@@ -284,4 +297,18 @@ class ReportBuilder:
             f" paper's red-cell pattern in {agreements}/{comparisons}"
             f" baseline cells."
         )
+        failures = self.failure_summary()
+        if failures:
+            lines.append("")
+            lines.append("### Failed cells (degraded to '-')")
+            lines.append("")
+            lines.append(
+                "These cells did not complete under the execution policy"
+                " and are excluded from every statistic above:"
+            )
+            lines.append("")
+            lines.append("| cell | status | error |")
+            lines.append("|---|---|---|")
+            for label, status, error in failures:
+                lines.append(f"| {label} | {status} | {error} |")
         return "\n".join(lines)

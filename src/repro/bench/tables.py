@@ -101,6 +101,22 @@ def _fmt_runtime(seconds: float) -> str:
     return f"{seconds:.1f}s"
 
 
+def _failure_note(matrix: ExperimentMatrix) -> str:
+    """Footnote explaining non-excluded "-" cells (timeout/oom/error).
+
+    Failed cells render as "-" exactly like the paper's out-of-memory
+    exclusions; this note keeps the two distinguishable in the output.
+    """
+    failures = matrix.failures()
+    if not failures:
+        return ""
+    noted = ", ".join(
+        f"{cell.method}@D{cell.setting}{cell.dataset[1:]} [{cell.status}]"
+        for cell in failures
+    )
+    return f"'-' also marks failed cells: {noted}"
+
+
 def table07_effectiveness(matrix: ExperimentMatrix) -> str:
     """Table VII: PC, PQ and RT of every method (a/b/c sub-tables).
 
@@ -124,6 +140,9 @@ def table07_effectiveness(matrix: ExperimentMatrix) -> str:
             "Table VII(c) - run-time (RT); * marks PC < target",
         ),
     ]
+    note = _failure_note(matrix)
+    if note:
+        parts.append(note)
     return "\n\n".join(parts)
 
 
@@ -187,6 +206,10 @@ def table11_candidates(matrix: ExperimentMatrix) -> str:
         )
         return text + ("" if cell.feasible else "*")
 
-    return _matrix_table(
+    table = _matrix_table(
         matrix, flag, "Table XI - candidate pairs; * marks PC < target"
     )
+    note = _failure_note(matrix)
+    if note:
+        table = f"{table}\n\n{note}"
+    return table

@@ -37,6 +37,9 @@ __all__ = [
     "QUERY",
     "BLOCKING_STAGES",
     "NN_STAGES",
+    "add_stage_hook",
+    "remove_stage_hook",
+    "fire_stage_hooks",
 ]
 
 
@@ -74,6 +77,45 @@ StageLike = Union[Stage, str]
 
 def _stage_name(stage: StageLike) -> str:
     return stage.name if isinstance(stage, Stage) else str(stage)
+
+
+# ----------------------------------------------------------------------
+# Stage-boundary hooks.
+# ----------------------------------------------------------------------
+#
+# Every stage entry/exit is a natural safe point of a long filter run:
+# the resilience layer (:mod:`repro.bench.resilience`) attaches its
+# cooperative deadline checks, memory-budget guard and fault injector
+# here.  Hooks receive ``(event, stage_name)`` with ``event`` one of
+# ``"enter"`` / ``"exit"``; a hook that raises aborts the stage before
+# it starts (enter) or after its time is recorded (exit), leaving the
+# trace stack consistent either way.
+
+_STAGE_HOOKS: List = []
+
+
+def add_stage_hook(hook) -> None:
+    """Register a ``hook(event, stage_name)`` callback on every boundary."""
+    _STAGE_HOOKS.append(hook)
+
+
+def remove_stage_hook(hook) -> None:
+    """Remove a previously registered hook (no-op when absent)."""
+    try:
+        _STAGE_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+def fire_stage_hooks(event: str, name: str) -> None:
+    """Fire every registered hook for a (possibly synthetic) boundary.
+
+    Callers outside :class:`StageTrace` (e.g. ``tune_method``) use this
+    to expose coarse-grained boundaries such as ``tune/kNNJ`` without
+    owning a trace.
+    """
+    for hook in list(_STAGE_HOOKS):
+        hook(event, name)
 
 
 class StageRecord:
@@ -145,6 +187,10 @@ class StageTrace:
     ) -> Iterator[StageRecord]:
         """Time one stage entry; yields the record for annotation."""
         name = _stage_name(stage)
+        if _STAGE_HOOKS:
+            # A raising enter-hook aborts before any bookkeeping, so the
+            # trace never records a stage that was denied entry.
+            fire_stage_hooks("enter", name)
         scope = self._stack[-1].children if self._stack else self._records
         record = scope.get(name)
         if record is None:
@@ -159,6 +205,8 @@ class StageTrace:
         finally:
             record.seconds += time.perf_counter() - start
             self._stack.pop()
+            if _STAGE_HOOKS:
+                fire_stage_hooks("exit", name)
 
     #: Backward-compatible alias — the old ``PhaseTimer`` vocabulary.
     phase = stage

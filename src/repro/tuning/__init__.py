@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..core import registry
+from ..core import registry, stages
 from ..core.optimizer import DEFAULT_RECALL_TARGET
 from ..datasets.generator import ERDataset
 from .baselines import BASELINES, evaluate_baseline, make_baseline
@@ -76,8 +76,21 @@ def tune_method(
     profile: str = "",
     cache: Optional[EmbeddingCache] = None,
 ) -> TunedResult:
-    """Run Problem-1 optimization for one method on one dataset/setting."""
+    """Run Problem-1 optimization for one method on one dataset/setting.
+
+    The whole optimization runs inside a synthetic ``tune/<method>``
+    stage boundary, so the resilience layer's cooperative deadline
+    checks fire at least once per cell and the fault injector
+    (:class:`repro.bench.resilience.FaultInjector`) can target one
+    method's tuning pass by name.
+    """
     tuner = registry.make_tuner(
         method, target_recall=target_recall, profile=profile, cache=cache
     )
-    return tuner.tune(dataset, attribute)
+    boundary = f"tune/{method}"
+    stages.fire_stage_hooks("enter", boundary)
+    try:
+        result = tuner.tune(dataset, attribute)
+    finally:
+        stages.fire_stage_hooks("exit", boundary)
+    return result

@@ -54,13 +54,17 @@ class TestMatrixScoping:
     def test_cache_file_is_json(self, tmp_path):
         import json
 
+        from repro.bench.harness import CACHE_SCHEMA_VERSION
+
         matrix = ExperimentMatrix(
             methods=["kNNJ"], datasets=["d1"], cache_path=tmp_path / "m.json"
         )
         matrix.run_cell(SettingKey("kNNJ", "d1", "a"))
         payload = json.loads((tmp_path / "m.json").read_text())
-        assert "kNNJ|d1|a" in payload
-        assert payload["kNNJ|d1|a"]["method"] == "kNNJ"
+        assert payload["schema"] == CACHE_SCHEMA_VERSION
+        assert "kNNJ|d1|a" in payload["cells"]
+        assert payload["cells"]["kNNJ|d1|a"]["method"] == "kNNJ"
+        assert payload["cells"]["kNNJ|d1|a"]["status"] == "ok"
 
 
 class TestCellResult:

@@ -3,13 +3,16 @@
 import pytest
 
 from repro.bench.harness import CellResult, ExperimentMatrix
+from repro.bench.resilience import CellStatus, FaultInjector
 from repro.bench.tables import (
     _fmt_runtime,
     _setting_columns,
     render_table,
+    table07_effectiveness,
     table08_blocking_configs,
     table09_sparse_configs,
     table10_dense_configs,
+    table11_candidates,
 )
 
 
@@ -76,3 +79,65 @@ class TestConfigTables:
     def test_missing_cells_dashed(self, tmp_path):
         output = table09_sparse_configs(self._matrix_with_cell(tmp_path))
         assert "-" in output  # kNNJ column is absent
+
+
+class TestFailedCellRendering:
+    """EXCLUDED_CELLS and failed-cell statuses must render identically."""
+
+    def _matrix(self, tmp_path, statuses):
+        """One matrix over d10/'a' with MH-LSH excluded (paper's "-")
+        and one failed FAISS cell per requested status."""
+        matrix = ExperimentMatrix(
+            methods=["SBW", "MH-LSH", "FAISS"],
+            datasets=["d10"],
+            cache_path=tmp_path / "m.json",
+            injector=FaultInjector([]),
+        )
+        matrix._results["SBW|d10|a"] = CellResult(
+            method="SBW", dataset="d10", setting="a",
+            pc=0.95, pq=0.4, candidates=10, runtime=0.01, feasible=True,
+        )
+        for status in statuses:
+            matrix._results["FAISS|d10|a"] = CellResult(
+                method="FAISS", dataset="d10", setting="a",
+                status=status, error=f"simulated {status}",
+            )
+        return matrix
+
+    def _cell_text(self, table, method):
+        row = next(
+            line for line in table.splitlines()
+            if line.strip().startswith(method + " ")
+            or line.strip() == method
+            or line.strip().startswith(method)
+        )
+        return row.split()[-1]
+
+    @pytest.mark.parametrize(
+        "status", [CellStatus.TIMEOUT, CellStatus.OOM, CellStatus.ERROR]
+    )
+    def test_table07_failed_matches_excluded(self, tmp_path, status):
+        matrix = self._matrix(tmp_path, [status])
+        table = table07_effectiveness(matrix)
+        # MH-LSH on d10 is the paper's "-" (excluded, never run); the
+        # failed FAISS cell must render exactly the same way.
+        assert self._cell_text(table, "MH-LSH") == "-"
+        assert self._cell_text(table, "FAISS") == "-"
+        # The footnote distinguishes failure from exclusion.
+        assert f"FAISS@Da10 [{status}]" in table
+        assert "MH-LSH@" not in table
+
+    @pytest.mark.parametrize(
+        "status", [CellStatus.TIMEOUT, CellStatus.OOM, CellStatus.ERROR]
+    )
+    def test_table11_failed_matches_excluded(self, tmp_path, status):
+        matrix = self._matrix(tmp_path, [status])
+        table = table11_candidates(matrix)
+        assert self._cell_text(table.split("\n\n")[0], "MH-LSH") == "-"
+        assert self._cell_text(table.split("\n\n")[0], "FAISS") == "-"
+        assert f"FAISS@Da10 [{status}]" in table
+
+    def test_no_footnote_without_failures(self, tmp_path):
+        matrix = self._matrix(tmp_path, [])
+        assert "also marks failed cells" not in table07_effectiveness(matrix)
+        assert "also marks failed cells" not in table11_candidates(matrix)
