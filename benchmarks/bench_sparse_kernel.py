@@ -9,7 +9,10 @@ synthetic Clean-Clean ER dataset, then times
 * complete ε-Join and kNN-Join runs,
 * the ε-Join tuner sweep (per-row scalar similarity + threshold binning
   vs one vectorized similarity array masked per threshold) — the pass
-  ``tuning/sparse.py`` runs once per (cleaning, model) grid point.
+  ``tuning/sparse.py`` runs once per (cleaning, model) grid point,
+* a seeded mixed add/remove/query stream over the incremental ScanCount
+  filter (``incremental_mixed_ops`` — the serving path; absolute wall
+  time, no legacy twin).
 
 Results are appended as ``{kernel, dataset, wall_s, candidates}`` rows to
 ``BENCH_sparse.json`` so successive PRs accumulate a perf trajectory.
@@ -30,12 +33,17 @@ from typing import Callable, Dict, FrozenSet, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.datasets.generator import DatasetSpec, generate
+from repro.core.incremental import random_operations
+from repro.datasets.generator import DatasetSpec, ERDataset, generate
 from repro.datasets.noise import NoiseProfile
 from repro.sparse.base import batch_similarities
 from repro.sparse.epsilon_join import EpsilonJoin
 from repro.sparse.knn_join import KNNJoin
-from repro.sparse.scancount import LegacyScanCountIndex, ScanCountIndex
+from repro.sparse.scancount import (
+    IncrementalScanCountFilter,
+    LegacyScanCountIndex,
+    ScanCountIndex,
+)
 from repro.sparse.similarity import (
     similarity_function,
     vector_similarity_function,
@@ -53,10 +61,8 @@ def timed(function: Callable[[], object]) -> Tuple[float, object]:
     return time.perf_counter() - start, result
 
 
-def make_token_sets(
-    size: int, model: str, seed: int
-) -> Tuple[str, List[FrozenSet[str]], List[FrozenSet[str]]]:
-    """Token sets of both sides of a generated size x size dataset."""
+def make_dataset(size: int, seed: int) -> ERDataset:
+    """The synthetic size x size Clean-Clean benchmark dataset."""
     spec = DatasetSpec(
         name=f"bench-{size}x{size}",
         domain="product",
@@ -67,11 +73,18 @@ def make_token_sets(
         noise1=NoiseProfile(typo_rate=0.08, token_drop_rate=0.08),
         noise2=NoiseProfile(typo_rate=0.12, token_drop_rate=0.08),
     )
-    dataset = generate(spec)
+    return generate(spec)
+
+
+def make_token_sets(
+    size: int, model: str, seed: int
+) -> Tuple[str, List[FrozenSet[str]], List[FrozenSet[str]]]:
+    """Token sets of both sides of a generated size x size dataset."""
+    dataset = make_dataset(size, seed)
     representation = RepresentationModel(model)
     left = [representation.tokens(t) for t in dataset.left.texts(None)]
     right = [representation.tokens(t) for t in dataset.right.texts(None)]
-    return spec.name, left, right
+    return dataset.spec.name, left, right
 
 
 # ----------------------------------------------------------------------
@@ -203,8 +216,11 @@ def run_benchmarks(
     size: int, model: str = "T1G", seed: int = 42
 ) -> List[Dict[str, object]]:
     """All kernel-vs-legacy timings as BENCH_sparse.json rows."""
-    dataset_name, left, right = make_token_sets(size, model, seed)
-    dataset_label = f"{dataset_name}-{model}"
+    dataset = make_dataset(size, seed)
+    representation = RepresentationModel(model)
+    left = [representation.tokens(t) for t in dataset.left.texts(None)]
+    right = [representation.tokens(t) for t in dataset.right.texts(None)]
+    dataset_label = f"{dataset.spec.name}-{model}"
     rows: List[Dict[str, object]] = []
 
     def record(kernel: str, wall_s: float, candidates: int) -> None:
@@ -275,6 +291,29 @@ def run_benchmarks(
     sweep_csr_s, sweep_csr = timed(lambda: csr_tuner_sweep(csr, right))
     record("ejoin_tuner_sweep_csr", sweep_csr_s, sum(sweep_csr["cosine"]))
     assert sweep_legacy == sweep_csr, "tuner sweep counts diverged"
+
+    # Streaming serving path: a seeded mixed add/remove/query stream over
+    # the incremental ScanCount filter (same ε-join semantics as above).
+    # One row, no legacy twin — the trajectory tracks absolute wall time.
+    def run_incremental() -> int:
+        index = IncrementalScanCountFilter(threshold=threshold, model=model)
+        operations = random_operations(
+            list(dataset.left),
+            np.random.default_rng(seed + 1),
+            2 * len(dataset.left),
+        )
+        matches = 0
+        for operation in operations:
+            if operation.kind == "add":
+                index.add(operation.profile)
+            elif operation.kind == "remove":
+                index.remove(operation.uid)
+            else:
+                matches += len(index.query(operation.profile))
+        return matches
+
+    incremental_s, incremental_matches = timed(run_incremental)
+    record("incremental_mixed_ops", incremental_s, incremental_matches)
 
     return rows
 

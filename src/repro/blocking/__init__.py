@@ -1,7 +1,12 @@
 """Blocking workflows: building, cleaning, comparison cleaning (Figure 1)."""
 
 from .attribute_clustering import AttributeClusteringBlocking
-from .blocks import Block, BlockCollection, build_blocks_from_keys
+from .blocks import (
+    Block,
+    BlockCollection,
+    IncrementalBlockIndex,
+    build_blocks_from_keys,
+)
 from .canopy import CanopyClusteringBlocking
 from .building import (
     BlockBuilder,
@@ -35,6 +40,7 @@ __all__ = [
     "CanopyClusteringBlocking",
     "ComparisonPropagation",
     "ExtendedQGramsBlocking",
+    "IncrementalBlockIndex",
     "ExtendedSuffixArraysBlocking",
     "MetaBlocking",
     "PairGraph",

@@ -9,11 +9,27 @@ with an empty side contributes nothing and is dropped at construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.candidates import CandidateSet
+from ..core.incremental import IncrementalIndex
+from ..core.profile import EntityProfile
 
-__all__ = ["Block", "BlockCollection", "build_blocks_from_keys"]
+__all__ = [
+    "Block",
+    "BlockCollection",
+    "IncrementalBlockIndex",
+    "build_blocks_from_keys",
+]
 
 
 @dataclass(frozen=True)
@@ -156,3 +172,78 @@ def build_blocks_from_keys(
         for key, sides in sorted(by_key.items())
     )
     return BlockCollection(blocks)
+
+
+class IncrementalBlockIndex(IncrementalIndex):
+    """Mutable key -> block-membership index over one live catalog.
+
+    The serving form of the blocking family: the catalog plays the role
+    of ``E1``, each ``query`` probe the role of one ``E2`` entity, and
+    the candidates are the catalog entities sharing at least one
+    blocking key with the probe — exactly the cross-side pairs
+    :func:`build_blocks_from_keys` would emit for the same signatures.
+
+    ``max_block_size`` mirrors the proactive builders' ``b_max`` cap:
+    keys whose live membership exceeds the cap are suppressed at query
+    time (membership is still tracked, so removals can shrink an
+    oversized block back under the cap and re-enable it).
+    """
+
+    name = "inc-blocks"
+
+    def __init__(
+        self,
+        builder: Optional[object] = None,
+        attribute: Optional[str] = None,
+        max_block_size: Optional[int] = None,
+    ) -> None:
+        if builder is None:
+            from .building import StandardBlocking
+
+            builder = StandardBlocking()
+        if max_block_size is not None and max_block_size < 1:
+            raise ValueError(
+                f"max_block_size must be positive, got {max_block_size}"
+            )
+        super().__init__(attribute=attribute)
+        self.builder = builder
+        self.max_block_size = max_block_size
+        self._members: Dict[str, Set[int]] = {}
+        self._keys_of: Dict[int, Tuple[str, ...]] = {}
+
+    def _signatures(self, profile: EntityProfile) -> Set[str]:
+        return set(self.builder.keys(self.text_of(profile)))
+
+    def _add(self, slot: int, profile: EntityProfile) -> None:
+        keys = tuple(sorted(self._signatures(profile)))
+        self._keys_of[slot] = keys
+        for key in keys:
+            self._members.setdefault(key, set()).add(slot)
+
+    def _remove(self, slot: int, profile: EntityProfile) -> None:
+        for key in self._keys_of.pop(slot):
+            members = self._members[key]
+            members.discard(slot)
+            if not members:
+                del self._members[key]
+
+    def _query(self, profile: EntityProfile) -> Iterable[int]:
+        matches: Set[int] = set()
+        cap = self.max_block_size
+        for key in self._signatures(profile):
+            members = self._members.get(key)
+            if not members:
+                continue
+            if cap is not None and len(members) > cap:
+                continue
+            matches.update(members)
+        return matches
+
+    def block_of(self, key: str) -> Tuple[int, ...]:
+        """Live slots of one blocking key, sorted (empty when absent)."""
+        return tuple(sorted(self._members.get(key, ())))
+
+    def describe(self) -> str:
+        builder = getattr(self.builder, "describe", lambda: "custom")()
+        cap = f", b_max={self.max_block_size}" if self.max_block_size else ""
+        return f"{self.name}({builder}{cap})"

@@ -5,9 +5,11 @@ from . import registry
 from .candidates import CandidateSet
 from .filters import Filter, PhaseTimer
 from .groundtruth import GroundTruth
+from .incremental import IncrementalFilterAdapter, IncrementalIndex
 from .registry import FilterSpec
 from .stages import (
     BLOCKING_STAGES,
+    INCREMENTAL_STAGES,
     NN_STAGES,
     Stage,
     StageRecord,
@@ -26,6 +28,7 @@ from .profile import EntityCollection, EntityProfile
 
 __all__ = [
     "BLOCKING_STAGES",
+    "INCREMENTAL_STAGES",
     "NN_STAGES",
     "CandidateSet",
     "EntityCollection",
@@ -34,6 +37,8 @@ __all__ = [
     "FilterEvaluation",
     "FilterSpec",
     "GroundTruth",
+    "IncrementalFilterAdapter",
+    "IncrementalIndex",
     "PhaseTimer",
     "Stage",
     "StageRecord",

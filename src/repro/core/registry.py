@@ -43,6 +43,7 @@ __all__ = [
     "family_codes",
     "fine_tuned_codes",
     "get",
+    "incremental_codes",
     "is_registered",
     "make_tuner",
     "method_codes",
@@ -78,6 +79,11 @@ class FilterSpec:
     excluded_datasets:
         Datasets where the method is excluded for scalability (the paper's
         "-" cells).
+    incremental_factory:
+        Builds the method's streaming counterpart — an
+        :class:`~repro.core.incremental.IncrementalIndex` — from a tuned
+        (or empty, i.e. default) parameter dict.  ``None`` for methods
+        without an incremental implementation.
     """
 
     code: str
@@ -88,6 +94,9 @@ class FilterSpec:
     tuner_factory: Optional[Callable[..., object]] = None
     baseline_factory: Optional[Callable[[], Filter]] = None
     excluded_datasets: FrozenSet[str] = field(default_factory=frozenset)
+    incremental_factory: Optional[
+        Callable[[Mapping[str, object]], object]
+    ] = None
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -103,6 +112,25 @@ class FilterSpec:
     @property
     def is_baseline(self) -> bool:
         return self.baseline_factory is not None
+
+    @property
+    def supports_incremental(self) -> bool:
+        """True when the method ships a streaming (add/remove/query) form."""
+        return self.incremental_factory is not None
+
+    def build_incremental(
+        self, params: Optional[Mapping[str, object]] = None
+    ):
+        """The method's :class:`~repro.core.incremental.IncrementalIndex`.
+
+        ``params`` follows the same tuned-parameter vocabulary as
+        :meth:`build_filter`; an empty dict selects serving defaults.
+        """
+        if self.incremental_factory is None:
+            raise ValueError(
+                f"{self.code} has no incremental implementation"
+            )
+        return self.incremental_factory(dict(params or {}))
 
     @property
     def phase_names(self) -> Tuple[str, ...]:
@@ -197,6 +225,11 @@ def family_codes(family: str, baselines: bool = True) -> Tuple[str, ...]:
     )
 
 
+def incremental_codes() -> Tuple[str, ...]:
+    """Codes of the methods with a streaming form, in row order."""
+    return tuple(s.code for s in all_specs() if s.supports_incremental)
+
+
 def excluded_cells() -> FrozenSet[Tuple[str, str]]:
     """(method, dataset) pairs excluded for scalability (the "-" cells)."""
     return frozenset(
@@ -228,9 +261,12 @@ def check_consistency() -> None:
 
     Used by CI: every method in :data:`repro.bench.harness.ALL_METHODS`
     must resolve to a registered spec and vice versa, row orders must be
-    unique, and every spec must carry a non-empty stage schema.
+    unique, every spec must carry a non-empty stage schema, and every
+    ``supports_incremental`` spec must round-trip through the
+    differential batch-vs-stream oracle.
     """
     from ..bench.harness import ALL_METHODS, EXCLUDED_CELLS
+    from .incremental import IncrementalIndex, differential_smoke
 
     codes = method_codes()
     if set(codes) != set(ALL_METHODS):
@@ -253,6 +289,25 @@ def check_consistency() -> None:
     for spec in all_specs():
         if not spec.stages:
             raise AssertionError(f"{spec.code}: empty stage schema")
+        if spec.supports_incremental:
+            if not isinstance(spec.build_incremental(), IncrementalIndex):
+                raise AssertionError(
+                    f"{spec.code}: incremental_factory does not build an "
+                    "IncrementalIndex"
+                )
+            try:
+                checked = differential_smoke(
+                    lambda spec=spec: spec.build_incremental()
+                )
+            except AssertionError as error:
+                raise AssertionError(
+                    f"{spec.code}: incremental index diverges from its "
+                    f"batch rebuild: {error}"
+                ) from error
+            if checked <= 0:
+                raise AssertionError(
+                    f"{spec.code}: differential smoke checked no queries"
+                )
         if spec.is_baseline:
             continue
         tuner = spec.make_tuner()

@@ -35,8 +35,11 @@ __all__ = [
     "PREPROCESS",
     "INDEX",
     "QUERY",
+    "ADD",
+    "REMOVE",
     "BLOCKING_STAGES",
     "NN_STAGES",
+    "INCREMENTAL_STAGES",
     "add_stage_hook",
     "remove_stage_hook",
     "fire_stage_hooks",
@@ -69,8 +72,16 @@ PREPROCESS = Stage("preprocess", "cleaning, tokenization / embedding")
 INDEX = Stage("index", "index construction over one collection")
 QUERY = Stage("query", "querying + candidate selection")
 
+#: Incremental (serving) indexes: per-call mutations and lookups
+#: (:mod:`repro.core.incremental`).  ``QUERY`` is shared with the NN
+#: schema so per-call latency lands under the same stage name the
+#: breakdown layer already knows.
+ADD = Stage("add", "incremental insertion of one entity")
+REMOVE = Stage("remove", "incremental removal of one entity")
+
 BLOCKING_STAGES: Tuple[Stage, ...] = (BUILD, PURGE, FILTER, CLEAN)
 NN_STAGES: Tuple[Stage, ...] = (PREPROCESS, INDEX, QUERY)
+INCREMENTAL_STAGES: Tuple[Stage, ...] = (ADD, REMOVE, QUERY)
 
 StageLike = Union[Stage, str]
 

@@ -6,9 +6,13 @@ from .crosspolytope import CrossPolytopeLSH, fwht
 from .deepblocker import DeepBlocker
 from .embeddings import EMBEDDING_DIM, HashedNGramEmbedder
 from .flat_index import FlatIndex
-from .hyperplane import HyperplaneLSH, probe_sequence
+from .hyperplane import (
+    HyperplaneLSH,
+    IncrementalHyperplaneLSH,
+    probe_sequence,
+)
 from .knn_search import FaissKNN, ScannKNN, default_deepblocker
-from .minhash import MinHashLSH
+from .minhash import IncrementalMinHashLSH, MinHashLSH
 from .partitioned import PartitionedIndex, ProductQuantizer, kmeans
 
 __all__ = [
@@ -21,6 +25,8 @@ __all__ = [
     "FlatIndex",
     "HashedNGramEmbedder",
     "HyperplaneLSH",
+    "IncrementalHyperplaneLSH",
+    "IncrementalMinHashLSH",
     "MinHashLSH",
     "PartitionedIndex",
     "ProductQuantizer",

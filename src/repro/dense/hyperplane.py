@@ -12,16 +12,19 @@ target recall without more tables.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..core.candidates import CandidateSet
+from ..core.incremental import IncrementalIndex
+from ..core.profile import EntityProfile
 from ..core.stages import INDEX, QUERY
+from ..text.cleaning import TextCleaner
 from .base import DenseNNFilter
 from .embeddings import HashedNGramEmbedder
 
-__all__ = ["HyperplaneLSH", "probe_sequence"]
+__all__ = ["HyperplaneLSH", "IncrementalHyperplaneLSH", "probe_sequence"]
 
 
 def probe_sequence(margins: np.ndarray, probes: int) -> List[Tuple[int, ...]]:
@@ -149,5 +152,99 @@ class HyperplaneLSH(DenseNNFilter):
     def describe(self) -> str:
         return (
             f"{super().describe()}(L={self.tables}, h={self.hashes}, "
+            f"probes={self.probes})"
+        )
+
+
+class IncrementalHyperplaneLSH(IncrementalIndex):
+    """Mutable multi-table hyperplane LSH (per-bucket add/remove).
+
+    The projections are drawn once at construction (the embedder's
+    dimensionality is fixed), exactly as :class:`HyperplaneLSH` draws
+    them per run, so under the same seed and embedder the streamed
+    buckets match the batch filter's.  Queries multi-probe with the same
+    per-table budget (``max(1, probes // tables)``); removals delete the
+    slot from its one bucket per table.
+    """
+
+    name = "inc-hp-lsh"
+
+    def __init__(
+        self,
+        tables: int = 10,
+        hashes: int = 12,
+        probes: Optional[int] = None,
+        cleaning: bool = False,
+        seed: int = 0,
+        embedder: Optional[HashedNGramEmbedder] = None,
+        attribute: Optional[str] = None,
+    ) -> None:
+        super().__init__(attribute=attribute)
+        self._lsh = HyperplaneLSH(
+            tables=tables, hashes=hashes, probes=probes,
+            cleaning=cleaning, seed=seed, embedder=embedder,
+        )
+        self.embedder = self._lsh.embedder
+        self._cleaner = TextCleaner()
+        self._projections = self._lsh._projections(self.embedder.dim)
+        self._buckets: List[Dict[int, List[int]]] = [
+            {} for __ in range(tables)
+        ]
+        self._bucket_keys: Dict[int, List[int]] = {}
+
+    @property
+    def tables(self) -> int:
+        return self._lsh.tables
+
+    @property
+    def hashes(self) -> int:
+        return self._lsh.hashes
+
+    @property
+    def probes(self) -> int:
+        return self._lsh.probes
+
+    def _vector(self, profile: EntityProfile) -> np.ndarray:
+        text = self.text_of(profile)
+        if self._lsh.cleaning:
+            text = self._cleaner.clean(text)
+        return self.embedder.embed_text(text)
+
+    def _add(self, slot: int, profile: EntityProfile) -> None:
+        vector = self._vector(profile)
+        keys: List[int] = []
+        for table, projection in enumerate(self._projections):
+            key = int(self._lsh._keys((vector @ projection)[None, :])[0])
+            keys.append(key)
+            self._buckets[table].setdefault(key, []).append(slot)
+        self._bucket_keys[slot] = keys
+
+    def _remove(self, slot: int, profile: EntityProfile) -> None:
+        for table, key in enumerate(self._bucket_keys.pop(slot)):
+            bucket = self._buckets[table][key]
+            bucket.remove(slot)
+            if not bucket:
+                del self._buckets[table][key]
+
+    def _query(self, profile: EntityProfile) -> Iterable[int]:
+        vector = self._vector(profile)
+        per_table_probes = max(1, self._lsh.probes // self._lsh.tables)
+        hashes = self._lsh.hashes
+        matches: Set[int] = set()
+        for table, projection in enumerate(self._projections):
+            scores = vector @ projection
+            base_key = int(self._lsh._keys(scores[None, :])[0])
+            margins = np.abs(scores)
+            buckets = self._buckets[table]
+            for flips in probe_sequence(margins, per_table_probes):
+                key = base_key
+                for bit in flips:
+                    key ^= 1 << (hashes - 1 - bit)
+                matches.update(buckets.get(key, ()))
+        return matches
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}(L={self.tables}, h={self.hashes}, "
             f"probes={self.probes})"
         )

@@ -15,18 +15,19 @@ it never touches embeddings.
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..core.candidates import CandidateSet
 from ..core.filters import Filter
-from ..core.profile import EntityCollection
+from ..core.incremental import IncrementalIndex
+from ..core.profile import EntityCollection, EntityProfile
 from ..core.stages import INDEX, NN_STAGES, PREPROCESS, QUERY
 from ..text.cleaning import TextCleaner
 from ..text.tokenizers import shingles
 
-__all__ = ["MinHashLSH"]
+__all__ = ["MinHashLSH", "IncrementalMinHashLSH"]
 
 # 2^31 - 1: small enough that a * x + b fits in uint64, large enough for
 # the shingle vocabularies of ER datasets.
@@ -172,3 +173,80 @@ class MinHashLSH(Filter):
             f"{self.name}(bands={self.bands}, rows={self.rows}, "
             f"k={self.shingle_k}){flags}"
         )
+
+
+class IncrementalMinHashLSH(IncrementalIndex):
+    """Mutable banded MinHash LSH tables (per-bucket add/remove).
+
+    Delegates the signature math to a private :class:`MinHashLSH` so the
+    streamed bucketing is bit-identical to the batch filter under the
+    same seed: an entity added here lands in exactly the buckets the
+    batch ``_run`` would put it in, and a query visits exactly the
+    buckets its signature selects.  Removal is eager — the slot is
+    deleted from every band bucket it occupies (the per-slot bucket keys
+    are retained for that purpose), so empty buckets never accumulate.
+    """
+
+    name = "inc-mh-lsh"
+
+    def __init__(
+        self,
+        bands: int = 32,
+        rows: int = 8,
+        shingle_k: int = 3,
+        cleaning: bool = False,
+        seed: int = 0,
+        attribute: Optional[str] = None,
+    ) -> None:
+        super().__init__(attribute=attribute)
+        self._lsh = MinHashLSH(
+            bands=bands, rows=rows, shingle_k=shingle_k,
+            cleaning=cleaning, seed=seed,
+        )
+        self._a, self._b = self._lsh._hash_family()
+        self._buckets: Dict[Tuple[int, bytes], List[int]] = {}
+        self._bucket_keys: Dict[int, List[Tuple[int, bytes]]] = {}
+
+    @property
+    def bands(self) -> int:
+        return self._lsh.bands
+
+    @property
+    def rows(self) -> int:
+        return self._lsh.rows
+
+    def _band_keys(self, profile: EntityProfile) -> List[Tuple[int, bytes]]:
+        text = self.text_of(profile)
+        if self._lsh.cleaning:
+            text = self._lsh._cleaner.clean(text)
+        tokens = frozenset(shingles(text, self._lsh.shingle_k))
+        signature = self._lsh._signature(tokens, self._a, self._b)
+        if signature is None:
+            return []
+        rows = self._lsh.rows
+        return [
+            (band, signature[band * rows : (band + 1) * rows].tobytes())
+            for band in range(self._lsh.bands)
+        ]
+
+    def _add(self, slot: int, profile: EntityProfile) -> None:
+        keys = self._band_keys(profile)
+        self._bucket_keys[slot] = keys
+        for key in keys:
+            self._buckets.setdefault(key, []).append(slot)
+
+    def _remove(self, slot: int, profile: EntityProfile) -> None:
+        for key in self._bucket_keys.pop(slot):
+            bucket = self._buckets[key]
+            bucket.remove(slot)
+            if not bucket:
+                del self._buckets[key]
+
+    def _query(self, profile: EntityProfile) -> Iterable[int]:
+        matches: Set[int] = set()
+        for key in self._band_keys(profile):
+            matches.update(self._buckets.get(key, ()))
+        return matches
+
+    def describe(self) -> str:
+        return self._lsh.describe().replace(self._lsh.name, self.name, 1)

@@ -9,7 +9,12 @@ from .knn_join import (
     distinct_similarity_ranks,
 )
 from .prefix_joins import AllPairsJoin, PPJoin, TokenOrder
-from .scancount import LegacyScanCountIndex, ScanCountIndex
+from .scancount import (
+    DynamicPostings,
+    IncrementalScanCountFilter,
+    LegacyScanCountIndex,
+    ScanCountIndex,
+)
 from .similarity import (
     SIMILARITY_MEASURES,
     cosine,
@@ -28,7 +33,9 @@ __all__ = [
     "SIMILARITY_MEASURES",
     "AllPairsJoin",
     "DefaultKNNJoin",
+    "DynamicPostings",
     "EpsilonJoin",
+    "IncrementalScanCountFilter",
     "KNNJoin",
     "LegacyScanCountIndex",
     "PPJoin",

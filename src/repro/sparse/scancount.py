@@ -23,15 +23,32 @@ loop; the results for the whole batch come back as flat CSR arrays.
 :class:`LegacyScanCountIndex` retains the original dict-of-lists
 implementation; it exists as the reference point for the parity tests and
 for ``benchmarks/bench_sparse_kernel.py``.
+
+The incremental (serving) form of the same structure is
+:class:`DynamicPostings` — a token -> postings delta dict layered over a
+lazily compacted CSR snapshot with tombstoned removals — wrapped by
+:class:`IncrementalScanCountFilter`, the
+:class:`~repro.core.incremental.IncrementalIndex` of the sparse family.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ScanCountIndex", "LegacyScanCountIndex"]
+from ..core.incremental import IncrementalIndex
+from ..core.profile import EntityProfile
+from ..text.cleaning import TextCleaner
+from ..text.tokenizers import RepresentationModel
+from .similarity import vector_similarity_function
+
+__all__ = [
+    "ScanCountIndex",
+    "LegacyScanCountIndex",
+    "DynamicPostings",
+    "IncrementalScanCountFilter",
+]
 
 
 class ScanCountIndex:
@@ -228,4 +245,216 @@ class LegacyScanCountIndex:
         return (
             f"LegacyScanCountIndex(sets={len(self)}, "
             f"vocabulary={self.vocabulary_size})"
+        )
+
+
+class DynamicPostings:
+    """A mutable ScanCount index: CSR snapshot + delta dict + tombstones.
+
+    Sets are addressed by caller-assigned *slots* (monotonic, never
+    reused).  New sets land in a plain token -> postings dict (the
+    *delta*); removals only tombstone (the slot disappears from the live
+    map, its postings stay physically present).  When the dead plus delta
+    postings outgrow ``compaction_ratio`` times the live postings, the
+    structure lazily compacts: the live sets are rebuilt into one
+    :class:`ScanCountIndex` (so queries run the exact batch CSR kernel)
+    and the delta and tombstones are purged.
+
+    A query merges the CSR ``batch_overlaps`` counts with a dict-merge
+    over the delta postings, masking tombstoned slots from both; the two
+    parts are disjoint by construction (a slot lives in the snapshot
+    *or* the delta, never both).
+    """
+
+    def __init__(self, compaction_ratio: float = 0.5) -> None:
+        if compaction_ratio <= 0.0:
+            raise ValueError(
+                f"compaction_ratio must be positive, got {compaction_ratio}"
+            )
+        self.compaction_ratio = compaction_ratio
+        self.compactions = 0
+        self._csr: Optional[ScanCountIndex] = None
+        self._csr_slots = np.zeros(0, dtype=np.int64)  # CSR set id -> slot
+        self._watermark = 0  # slots below this live in the CSR snapshot
+        self._high_water = 0  # strictly above every slot ever added
+        self._delta: Dict[str, List[int]] = {}
+        self._delta_postings = 0
+        self._dead_postings = 0
+        self._live: Dict[int, FrozenSet[str]] = {}
+        self._live_postings = 0
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def size_of(self, slot: int) -> int:
+        """Cardinality of the live set at ``slot``."""
+        return len(self._live[slot])
+
+    def add(self, slot: int, tokens: FrozenSet[str]) -> None:
+        """Insert ``tokens`` under ``slot`` (slots must be fresh, ascending).
+
+        Reuse is rejected outright: a tombstoned slot's postings may still
+        sit in the delta lists (masked only by liveness), so re-adding the
+        slot would resurrect them.
+        """
+        if slot < self._high_water:
+            raise ValueError(f"slot {slot} was already used")
+        self._high_water = slot + 1
+        self._live[slot] = tokens
+        self._live_postings += len(tokens)
+        for token in tokens:
+            self._delta.setdefault(token, []).append(slot)
+        self._delta_postings += len(tokens)
+        self._maybe_compact()
+
+    def remove(self, slot: int) -> None:
+        """Tombstone ``slot`` (``KeyError`` when not live)."""
+        tokens = self._live.pop(slot)
+        self._live_postings -= len(tokens)
+        self._dead_postings += len(tokens)
+        self._maybe_compact()
+
+    def overlap_counts(self, query: FrozenSet[str]) -> Dict[int, int]:
+        """Exact token overlap of ``query`` with every live set, by slot."""
+        counts: Dict[int, int] = {}
+        live = self._live
+        if self._csr is not None and len(self._csr):
+            __, set_ids, csr_counts = self._csr.batch_overlaps([query])
+            slots = self._csr_slots[set_ids]
+            for slot, count in zip(slots.tolist(), csr_counts.tolist()):
+                if slot in live:
+                    counts[slot] = count
+        delta = self._delta
+        for token in query:
+            for slot in delta.get(token, ()):
+                if slot in live:
+                    counts[slot] = counts.get(slot, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # Lazy compaction.
+    # ------------------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        stale = self._dead_postings + self._delta_postings
+        if stale <= max(64, self.compaction_ratio * self._live_postings):
+            return
+        self.compact()
+
+    def compact(self) -> None:
+        """Rebuild the CSR snapshot from the live sets; purge everything else."""
+        slots = sorted(self._live)
+        self._csr = ScanCountIndex([self._live[slot] for slot in slots])
+        self._csr_slots = np.asarray(slots, dtype=np.int64)
+        self._watermark = slots[-1] + 1 if slots else self._watermark
+        self._delta = {}
+        self._delta_postings = 0
+        self._dead_postings = 0
+        self.compactions += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DynamicPostings(live={len(self)}, "
+            f"delta={self._delta_postings}, dead={self._dead_postings}, "
+            f"compactions={self.compactions})"
+        )
+
+
+class IncrementalScanCountFilter(IncrementalIndex):
+    """Streaming set-similarity filter over :class:`DynamicPostings`.
+
+    The serving form of the sparse NN family: ``add``/``remove`` maintain
+    the mutable postings, ``query`` answers either a range join
+    (``threshold`` — similarity >= ε, the :class:`EpsilonJoin` semantics)
+    or a cardinality join (``k`` — the k highest *distinct* similarity
+    values with ties kept, the :class:`KNNJoin` semantics).  Exactly one
+    of ``threshold``/``k`` configures the default mode; per-call
+    ``query(entity, eps=...)`` / ``query(entity, k=...)`` overrides it.
+    """
+
+    name = "inc-scancount"
+
+    def __init__(
+        self,
+        threshold: Optional[float] = None,
+        k: Optional[int] = None,
+        model: str = "T1G",
+        measure: str = "cosine",
+        cleaning: bool = False,
+        attribute: Optional[str] = None,
+        compaction_ratio: float = 0.5,
+    ) -> None:
+        if (threshold is None) == (k is None):
+            raise ValueError("configure exactly one of threshold (ε) or k")
+        if threshold is not None and not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        if k is not None and k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        super().__init__(attribute=attribute)
+        self.threshold = threshold
+        self.k = k
+        self.model = RepresentationModel(model)
+        self.measure_name = measure.lower()
+        self.vector_measure = vector_similarity_function(measure)
+        self.cleaning = cleaning
+        self._cleaner = TextCleaner()
+        self._postings = DynamicPostings(compaction_ratio)
+
+    def _tokens(self, profile: EntityProfile) -> FrozenSet[str]:
+        text = self.text_of(profile)
+        if self.cleaning:
+            text = self._cleaner.clean(text)
+        return self.model.tokens(text)
+
+    def _add(self, slot: int, profile: EntityProfile) -> None:
+        self._postings.add(slot, self._tokens(profile))
+
+    def _remove(self, slot: int, profile: EntityProfile) -> None:
+        self._postings.remove(slot)
+
+    def _query(
+        self,
+        profile: EntityProfile,
+        eps: Optional[float] = None,
+        k: Optional[int] = None,
+    ) -> Iterable[int]:
+        if eps is not None and k is not None:
+            raise ValueError("pass at most one of eps / k per query")
+        if eps is None and k is None:
+            eps, k = self.threshold, self.k
+        tokens = self._tokens(profile)
+        counts = self._postings.overlap_counts(tokens)
+        if not counts:
+            return ()
+        slots = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
+        overlaps = np.fromiter(
+            counts.values(), dtype=np.int64, count=len(counts)
+        )
+        sizes = np.fromiter(
+            (self._postings.size_of(int(slot)) for slot in slots),
+            dtype=np.int64,
+            count=len(slots),
+        )
+        query_sizes = np.full(len(slots), len(tokens), dtype=np.int64)
+        similarities = self.vector_measure(sizes, query_sizes, overlaps)
+        if eps is not None:
+            keep = similarities >= float(eps)
+        else:
+            # The kNN-Join tie rule: keep every set whose similarity is
+            # among the k highest *distinct* values.
+            distinct = np.unique(similarities)
+            cutoff = distinct[max(0, len(distinct) - int(k))]
+            keep = similarities >= cutoff
+        return slots[keep].tolist()
+
+    def describe(self) -> str:
+        mode = (
+            f"eps={self.threshold:.2f}"
+            if self.threshold is not None
+            else f"k={self.k}"
+        )
+        flags = " [clean]" if self.cleaning else ""
+        return (
+            f"{self.name}({self.model.code},{self.measure_name},{mode})"
+            f"{flags}"
         )

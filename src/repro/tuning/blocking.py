@@ -237,6 +237,28 @@ class BlockingWorkflowTuner:
 # ----------------------------------------------------------------------
 
 
+def _build_incremental(builder_name: str, params: Dict[str, object]):
+    """The streaming form of one blocking family: a mutable block index.
+
+    Only the *building* stage has a streaming counterpart (purging,
+    filtering and comparison cleaning are whole-collection decisions);
+    the builder is configured from the tuner's parameter vocabulary and
+    the proactive families' ``b_max`` cap carries over as the index's
+    ``max_block_size``.
+    """
+    from ..blocking.blocks import IncrementalBlockIndex
+
+    builder_params = {
+        key: value
+        for key, value in params.items()
+        if key in ("q", "t", "l_min", "b_max")
+    }
+    builder = make_builder(builder_name, **builder_params)
+    return IncrementalBlockIndex(
+        builder=builder, max_block_size=getattr(builder, "b_max", None)
+    )
+
+
 def _register() -> None:
     from ..core import registry, stages
 
@@ -254,6 +276,9 @@ def _register() -> None:
                     BlockingWorkflowTuner(
                         code, target_recall=recall, profile=profile
                     )
+                ),
+                incremental_factory=lambda params, name=WORKFLOW_NAMES[code]: (
+                    _build_incremental(name, params)
                 ),
             )
         )

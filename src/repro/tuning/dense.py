@@ -328,6 +328,21 @@ class LSHTuner:
 # ----------------------------------------------------------------------
 
 
+def _build_incremental(code: str, params: Dict[str, object]):
+    """The streaming form of one LSH method (per-bucket add/remove).
+
+    Reuses the tuner's parameter vocabulary directly; an empty dict
+    selects the filters' defaults.  Cross-Polytope LSH rotates against a
+    data-dependent padding dimension and has no streaming form yet.
+    """
+    from ..dense.hyperplane import IncrementalHyperplaneLSH
+    from ..dense.minhash import IncrementalMinHashLSH
+
+    if code == "MH-LSH":
+        return IncrementalMinHashLSH(**params)
+    return IncrementalHyperplaneLSH(**params)
+
+
 def _register() -> None:
     from ..core import registry, stages
 
@@ -354,6 +369,13 @@ def _register() -> None:
                 # on the largest dataset (the paper's "-" cell).
                 excluded_datasets=(
                     frozenset({"d10"}) if code == "MH-LSH" else frozenset()
+                ),
+                incremental_factory=(
+                    None
+                    if code == "CP-LSH"
+                    else lambda params, code=code: (
+                        _build_incremental(code, params)
+                    )
                 ),
             )
         )

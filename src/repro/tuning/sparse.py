@@ -365,6 +365,31 @@ class KNNJoinTuner:
 # ----------------------------------------------------------------------
 
 
+def _build_incremental(code: str, params: Dict[str, object]):
+    """The streaming (add/remove/query) form of one sparse join.
+
+    Maps the tuner's parameter vocabulary onto
+    :class:`~repro.sparse.scancount.IncrementalScanCountFilter`; an
+    empty dict selects serving defaults (ε = 0.5 / k = 5, matching the
+    joins' common baselines).  The RVS flag has no streaming meaning
+    (there is one catalog, not two collections) and is ignored.
+    """
+    from ..sparse.scancount import IncrementalScanCountFilter
+
+    common = dict(
+        model=str(params.get("model", "T1G")),
+        measure=str(params.get("measure", "cosine")),
+        cleaning=bool(params.get("cleaning", False)),
+    )
+    if code == "EJ":
+        return IncrementalScanCountFilter(
+            threshold=float(params.get("threshold", 0.5)), **common
+        )
+    return IncrementalScanCountFilter(
+        k=int(params.get("k", 5)), **common
+    )
+
+
 def _register() -> None:
     from ..core import registry, stages
 
@@ -382,6 +407,9 @@ def _register() -> None:
                 ),
                 tuner_factory=lambda recall, profile, cache, cls=tuner_class: (
                     cls(target_recall=recall, profile=profile)
+                ),
+                incremental_factory=lambda params, code=code: (
+                    _build_incremental(code, params)
                 ),
             )
         )

@@ -1,0 +1,451 @@
+"""Differential batch-vs-stream parity for the incremental filtering service.
+
+Three layers of evidence that the mutable indexes answer exactly like
+their batch counterparts:
+
+* **Randomized differential replay** — 200 seeded random add/remove/query
+  sequences per incremental family, every query checked byte-for-byte
+  (fastpairs keys) against a from-scratch rebuild of the live entities.
+* **Metamorphic properties** — add+remove is an identity on query
+  results, re-adding restores them, and the uniform mutation semantics
+  (duplicate add, unknown remove) hold for every family.
+* **Adapter parity** — bulk add + bulk query through
+  :class:`IncrementalFilterAdapter` reproduces the batch filters'
+  candidate sets exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.blocking import (
+    IncrementalBlockIndex,
+    StandardBlocking,
+    build_blocks_from_keys,
+)
+from repro.core import registry
+from repro.core.fastpairs import encode_pairs, unique_keys
+from repro.core.incremental import (
+    IncrementalFilterAdapter,
+    IncrementalIndex,
+    Operation,
+    _smoke_pool,
+    random_operations,
+    replay_check,
+)
+from repro.core.profile import EntityProfile
+from repro.datasets.generator import DatasetSpec, generate
+from repro.datasets.noise import NoiseProfile
+from repro.dense import (
+    HashedNGramEmbedder,
+    HyperplaneLSH,
+    IncrementalHyperplaneLSH,
+    IncrementalMinHashLSH,
+    MinHashLSH,
+)
+from repro.sparse import (
+    DynamicPostings,
+    EpsilonJoin,
+    IncrementalScanCountFilter,
+    KNNJoin,
+)
+
+# ----------------------------------------------------------------------
+# One factory per incremental family, smallest configurations that still
+# produce non-trivial candidate sets on the smoke pool.
+# ----------------------------------------------------------------------
+
+FAMILIES = {
+    "scancount-eps": lambda: IncrementalScanCountFilter(
+        threshold=0.3, model="T1G", measure="cosine"
+    ),
+    "scancount-knn": lambda: IncrementalScanCountFilter(
+        k=3, model="T1G", measure="cosine"
+    ),
+    "minhash-lsh": lambda: IncrementalMinHashLSH(
+        bands=8, rows=2, shingle_k=2, seed=3
+    ),
+    "hyperplane-lsh": lambda: IncrementalHyperplaneLSH(
+        tables=2, hashes=6, seed=3, embedder=HashedNGramEmbedder(dim=32)
+    ),
+    "blocks": lambda: IncrementalBlockIndex(builder=StandardBlocking()),
+}
+
+FAMILY_NAMES = tuple(FAMILIES)
+
+#: Acceptance floor: randomized operation sequences per family.
+SEQUENCE_CASES = 200
+
+
+def family(name):
+    return FAMILIES[name]()
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    spec = DatasetSpec(
+        name="inc-parity",
+        domain="product",
+        size1=120,
+        size2=120,
+        duplicates=40,
+        seed=3,
+        noise1=NoiseProfile(typo_rate=0.08),
+        noise2=NoiseProfile(typo_rate=0.1),
+    )
+    return generate(spec)
+
+
+def candidate_keys(candidates, width):
+    pairs = sorted(candidates.as_frozenset())
+    if not pairs:
+        return np.zeros(0, dtype=np.int64)
+    arr = np.asarray(pairs, dtype=np.int64)
+    return unique_keys(encode_pairs(arr[:, 0], arr[:, 1], width))
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: randomized differential replay against the batch oracle.
+# ----------------------------------------------------------------------
+
+
+class TestDifferentialReplay:
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_random_sequences_match_batch_oracle(self, name):
+        factory = FAMILIES[name]
+        queries_checked = 0
+        for case in range(SEQUENCE_CASES):
+            pool = _smoke_pool(10, seed=case)
+            rng = np.random.default_rng(10_000 + case)
+            operations = random_operations(pool, rng, 20)
+            if not any(op.kind == "query" for op in operations):
+                operations.append(Operation("query", profile=pool[0]))
+            queries_checked += replay_check(factory, operations)
+        # Every family must have answered a substantial number of
+        # checked queries, not just survived empty streams.
+        assert queries_checked >= SEQUENCE_CASES
+
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_heavy_churn_exercises_tombstones(self, name):
+        # Removal-heavy streams maximize tombstoned state between
+        # queries; ScanCount additionally crosses compaction here.
+        factory = FAMILIES[name]
+        pool = _smoke_pool(14, seed=77)
+        rng = np.random.default_rng(78)
+        operations = random_operations(
+            pool, rng, 160, add_weight=0.4, remove_weight=0.35
+        )
+        assert replay_check(factory, operations) > 0
+
+    def test_scancount_replay_crosses_compaction(self):
+        factory = lambda: IncrementalScanCountFilter(
+            threshold=0.3, compaction_ratio=0.1
+        )
+        pool = _smoke_pool(14, seed=5)
+        rng = np.random.default_rng(6)
+        operations = random_operations(
+            pool, rng, 200, add_weight=0.4, remove_weight=0.35
+        )
+        index = factory()
+        for op in operations:
+            if op.kind == "add":
+                index.add(op.profile)
+            elif op.kind == "remove":
+                index.remove(op.uid)
+            else:
+                index.query(op.profile)
+        assert index._postings.compactions > 0
+        # The identical stream is differentially correct.
+        assert replay_check(factory, operations) > 0
+
+    def test_replay_check_detects_divergence(self):
+        # A broken index (never forgets removals) must be caught.
+        class LeakyBlocks(IncrementalBlockIndex):
+            def _remove(self, slot, profile):
+                pass  # tombstone leak: stays queryable
+
+        pool = _smoke_pool(8, seed=1)
+        operations = [
+            Operation("add", profile=pool[0]),
+            Operation("add", profile=pool[1]),
+            Operation("remove", uid=pool[0].uid),
+            Operation("query", profile=pool[0]),
+        ]
+        with pytest.raises((AssertionError, KeyError)):
+            replay_check(lambda: LeakyBlocks(), operations)
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: metamorphic properties, uniform across families.
+# ----------------------------------------------------------------------
+
+
+class TestMetamorphic:
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_add_remove_is_identity(self, name):
+        pool = _smoke_pool(12, seed=9)
+        index = family(name)
+        for profile in pool[:8]:
+            index.add(profile)
+        probe = pool[10]
+        before = index.query(probe)
+        index.add(pool[9])
+        index.remove(pool[9].uid)
+        assert index.query(probe) == before
+
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_re_add_restores_results(self, name):
+        pool = _smoke_pool(12, seed=9)
+        index = family(name)
+        for profile in pool[:8]:
+            index.add(profile)
+        probe = pool[10]
+        with_all = index.query(probe)
+        index.remove(pool[3].uid)
+        index.add(pool[3])
+        assert index.query(probe) == with_all
+
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_remove_unknown_uid_raises_keyerror(self, name):
+        index = family(name)
+        with pytest.raises(KeyError):
+            index.remove("never-added")
+        index.add(_smoke_pool(1, seed=0)[0])
+        with pytest.raises(KeyError):
+            index.remove("still-unknown")
+
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_duplicate_add_raises_valueerror(self, name):
+        index = family(name)
+        profile = _smoke_pool(1, seed=0)[0]
+        index.add(profile)
+        with pytest.raises(ValueError, match="duplicate uid"):
+            index.add(profile)
+        # A failed add must not corrupt the catalog.
+        assert len(index) == 1
+        index.remove(profile.uid)
+        index.add(profile)  # removable and re-addable afterwards
+        assert len(index) == 1
+
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_len_and_contains_track_live_entities(self, name):
+        pool = _smoke_pool(6, seed=2)
+        index = family(name)
+        assert len(index) == 0
+        for position, profile in enumerate(pool):
+            index.add(profile)
+            assert len(index) == position + 1
+            assert profile.uid in index
+        index.remove(pool[2].uid)
+        assert len(index) == 5
+        assert pool[2].uid not in index
+        assert index.profiles() == tuple(
+            p for p in pool if p.uid != pool[2].uid
+        )
+
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_query_returns_sorted_uids(self, name):
+        pool = _smoke_pool(12, seed=4)
+        index = family(name)
+        for profile in pool:
+            index.add(profile)
+        result = index.query(pool[0])
+        assert result == tuple(sorted(result))
+        assert all(uid in index for uid in result)
+
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_stage_trace_records_service_calls(self, name):
+        pool = _smoke_pool(4, seed=3)
+        index = family(name)
+        for profile in pool:
+            index.add(profile)
+        index.remove(pool[0].uid)
+        index.query(pool[1])
+        entries = {
+            stage: record.entries
+            for stage, record in index.trace._records.items()
+        }
+        assert entries.get("add") == 4
+        assert entries.get("remove") == 1
+        assert entries.get("query") == 1
+
+
+class TestScanCountInternals:
+    def test_exactly_one_of_threshold_and_k(self):
+        with pytest.raises(ValueError):
+            IncrementalScanCountFilter()
+        with pytest.raises(ValueError):
+            IncrementalScanCountFilter(threshold=0.5, k=3)
+
+    def test_per_call_override_rejects_both_modes(self):
+        index = IncrementalScanCountFilter(threshold=0.5)
+        index.add(_smoke_pool(1, seed=0)[0])
+        with pytest.raises(ValueError):
+            index.query(_smoke_pool(2, seed=0)[1], eps=0.2, k=2)
+
+    def test_dynamic_postings_slot_reuse_rejected(self):
+        postings = DynamicPostings()
+        postings.add(0, frozenset({"a", "b"}))
+        with pytest.raises(ValueError):
+            postings.add(0, frozenset({"c"}))
+        postings.remove(0)
+        with pytest.raises(ValueError):  # slots are never reused
+            postings.add(0, frozenset({"c"}))
+        with pytest.raises(KeyError):
+            postings.remove(7)
+
+    def test_dynamic_postings_compaction_preserves_overlaps(self):
+        postings = DynamicPostings(compaction_ratio=0.1)
+        sets = {
+            slot: frozenset({f"t{slot % 5}", f"u{slot % 3}", f"v{slot}"})
+            for slot in range(40)
+        }
+        for slot, tokens in sets.items():
+            postings.add(slot, tokens)
+        for slot in range(0, 40, 2):
+            postings.remove(slot)
+        assert postings.compactions > 0
+        live = {s: t for s, t in sets.items() if s % 2 == 1}
+        query = frozenset({"t1", "u2", "v3"})
+        expected = {
+            slot: len(tokens & query)
+            for slot, tokens in live.items()
+            if tokens & query
+        }
+        assert postings.overlap_counts(query) == expected
+
+
+# ----------------------------------------------------------------------
+# Satellite: batch mode delegates to bulk add + bulk query — the adapter
+# must reproduce the batch filters byte-for-byte.
+# ----------------------------------------------------------------------
+
+
+class TestAdapterBatchParity:
+    def test_epsilon_join(self, dataset):
+        width = len(dataset.right)
+        batch = EpsilonJoin(
+            threshold=0.4, model="T1G", measure="cosine"
+        ).candidates(dataset.left, dataset.right)
+        streamed = IncrementalFilterAdapter(
+            lambda: IncrementalScanCountFilter(
+                threshold=0.4, model="T1G", measure="cosine"
+            )
+        ).candidates(dataset.left, dataset.right)
+        assert len(batch) > 0
+        assert np.array_equal(
+            candidate_keys(batch, width), candidate_keys(streamed, width)
+        )
+
+    def test_knn_join(self, dataset):
+        width = len(dataset.right)
+        batch = KNNJoin(k=3, model="T1G", measure="cosine").candidates(
+            dataset.left, dataset.right
+        )
+        streamed = IncrementalFilterAdapter(
+            lambda: IncrementalScanCountFilter(
+                k=3, model="T1G", measure="cosine"
+            )
+        ).candidates(dataset.left, dataset.right)
+        assert len(batch) > 0
+        assert np.array_equal(
+            candidate_keys(batch, width), candidate_keys(streamed, width)
+        )
+
+    def test_minhash_lsh(self, dataset):
+        width = len(dataset.right)
+        batch = MinHashLSH(bands=8, rows=4, shingle_k=3, seed=11).candidates(
+            dataset.left, dataset.right
+        )
+        streamed = IncrementalFilterAdapter(
+            lambda: IncrementalMinHashLSH(
+                bands=8, rows=4, shingle_k=3, seed=11
+            )
+        ).candidates(dataset.left, dataset.right)
+        assert len(batch) > 0
+        assert np.array_equal(
+            candidate_keys(batch, width), candidate_keys(streamed, width)
+        )
+
+    def test_hyperplane_lsh(self, dataset):
+        width = len(dataset.right)
+        embedder = HashedNGramEmbedder(dim=64)
+        batch = HyperplaneLSH(
+            tables=4, hashes=8, seed=5, embedder=embedder
+        ).candidates(dataset.left, dataset.right)
+        streamed = IncrementalFilterAdapter(
+            lambda: IncrementalHyperplaneLSH(
+                tables=4, hashes=8, seed=5, embedder=embedder
+            )
+        ).candidates(dataset.left, dataset.right)
+        assert len(batch) > 0
+        assert np.array_equal(
+            candidate_keys(batch, width), candidate_keys(streamed, width)
+        )
+
+    def test_standard_blocking(self, dataset):
+        width = len(dataset.right)
+        builder = StandardBlocking()
+        left_keys = [builder.keys(t) for t in dataset.left.texts(None)]
+        right_keys = [builder.keys(t) for t in dataset.right.texts(None)]
+        batch = build_blocks_from_keys(left_keys, right_keys).distinct_pairs()
+        streamed = IncrementalFilterAdapter(
+            lambda: IncrementalBlockIndex(builder=StandardBlocking())
+        ).candidates(dataset.left, dataset.right)
+        assert len(batch) > 0
+        assert np.array_equal(
+            candidate_keys(batch, width), candidate_keys(streamed, width)
+        )
+
+    def test_adapter_keeps_last_index_live(self, dataset):
+        adapter = IncrementalFilterAdapter(
+            lambda: IncrementalScanCountFilter(threshold=0.4)
+        )
+        adapter.candidates(dataset.left, dataset.right)
+        index = adapter.last_index
+        assert isinstance(index, IncrementalIndex)
+        assert len(index) == len(dataset.left)
+        # Streaming continues where the batch run left off.
+        extra = EntityProfile(
+            uid="fresh", attributes={"title": "acme usb cable 101"}
+        )
+        index.add(extra)
+        index.remove(extra.uid)
+        assert len(index) == len(dataset.left)
+
+
+# ----------------------------------------------------------------------
+# Satellite: registry capability surface.
+# ----------------------------------------------------------------------
+
+
+class TestRegistryCapability:
+    def test_incremental_codes(self):
+        assert registry.incremental_codes() == (
+            "SBW", "QBW", "EQBW", "SABW", "ESABW",
+            "EJ", "kNNJ",
+            "MH-LSH", "HP-LSH",
+        )
+
+    def test_build_incremental_returns_incremental_indexes(self):
+        for code in registry.incremental_codes():
+            spec = registry.get(code)
+            assert spec.supports_incremental
+            index = spec.build_incremental()
+            assert isinstance(index, IncrementalIndex)
+
+    def test_non_incremental_spec_refuses_to_build(self):
+        spec = registry.get("CP-LSH")
+        assert not spec.supports_incremental
+        with pytest.raises(ValueError):
+            spec.build_incremental()
+
+    def test_build_incremental_threads_params(self):
+        index = registry.get("EJ").build_incremental(
+            {"threshold": 0.7, "measure": "jaccard"}
+        )
+        assert index.threshold == 0.7
+        assert "jaccard" in index.describe()
+        knn = registry.get("kNNJ").build_incremental({"k": 9})
+        assert knn.k == 9
+        blocks = registry.get("QBW").build_incremental({"q": 4})
+        assert blocks.builder.q == 4

@@ -49,3 +49,46 @@ def test_kernel_at_least_as_fast_as_legacy(tmp_path):
     recorded = json.loads(out.read_text())
     assert len(recorded) == 2 * len(rows)
     assert {"kernel", "dataset", "wall_s", "candidates"} <= set(recorded[0])
+    # The serving-path row rides along in the same trajectory.
+    kernels = {row["kernel"] for row in rows}
+    assert "incremental_mixed_ops" in kernels
+
+
+#: Per-call budget for one incremental query against a 1000-entity
+#: catalog.  The batch ε-join answers ~1000 queries in well under a
+#: second, so a single streamed lookup taking longer than this means the
+#: serving path degenerated to a full rebuild.
+QUERY_BUDGET_S = 0.025
+
+
+@pytest.mark.skipif(
+    os.environ.get("CI") == "slow-box",
+    reason="wall-clock comparisons are unreliable on the slow CI box",
+)
+def test_incremental_query_latency_budget():
+    import time
+
+    from repro.sparse.scancount import IncrementalScanCountFilter
+
+    bench = _load_bench()
+    dataset = bench.make_dataset(1000, seed=7)
+    index = IncrementalScanCountFilter(threshold=0.5, model="T1G")
+    for profile in dataset.left:
+        index.add(profile)
+    # Churn a third of the catalog so queries cross tombstoned state.
+    removed = list(dataset.left)[::3]
+    for profile in removed:
+        index.remove(profile.uid)
+    for profile in removed:
+        index.add(profile)
+    probes = list(dataset.right)[:50]
+    index.query(probes[0])  # warm-up: first call may compact
+    start = time.perf_counter()
+    for probe in probes:
+        index.query(probe)
+    mean_latency = (time.perf_counter() - start) / len(probes)
+    assert mean_latency < QUERY_BUDGET_S, (
+        f"incremental query averaged {mean_latency * 1e3:.2f}ms "
+        f"against a {len(index)}-entity catalog "
+        f"(budget {QUERY_BUDGET_S * 1e3:.0f}ms)"
+    )
