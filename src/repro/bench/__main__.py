@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench d1 d2           # a subset
     python -m repro.bench --profile full  # the paper's full grids
     python -m repro.bench --timeout 900   # 15-minute budget per cell
+    python -m repro.bench --workers 4     # shard sparse queries over 4 processes
 
 A run resumes from ``.bench_cache/matrix.json`` automatically: finished
 cells (including failed ones) are skipped, so an interrupted run picks
@@ -86,6 +87,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="flush the result cache every N fresh cells"
         f" (default: {ExperimentMatrix.DEFAULT_SAVE_EVERY})",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the query phase of supporting methods over N worker"
+        " processes (0 = one per CPU; default: the REPRO_WORKERS"
+        " environment variable, else 1); results are byte-identical"
+        " for every worker count",
+    )
     return parser
 
 
@@ -105,6 +116,8 @@ def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
         parser.error("--max-retries must be >= 0")
     if args.save_every < 1:
         parser.error("--save-every must be >= 1")
+    if args.workers is not None and args.workers < 0:
+        parser.error("--workers must be >= 0 (0 = one per CPU)")
     return args
 
 
@@ -120,6 +133,13 @@ def policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
 def main(argv: Optional[Sequence[str]] = None) -> None:
     args = parse_args(argv)
     datasets = args.datasets or None
+
+    if args.workers is not None:
+        # The knob is process-wide: every workers=None filter/tuner in
+        # the matrix resolves to this default (repro.core.parallel).
+        from ..core.parallel import set_default_workers
+
+        set_default_workers(args.workers)
 
     matrix = ExperimentMatrix(
         datasets=datasets,

@@ -47,6 +47,7 @@ __all__ = [
     "is_registered",
     "make_tuner",
     "method_codes",
+    "parallel_codes",
     "register",
 ]
 
@@ -84,6 +85,10 @@ class FilterSpec:
         :class:`~repro.core.incremental.IncrementalIndex` — from a tuned
         (or empty, i.e. default) parameter dict.  ``None`` for methods
         without an incremental implementation.
+    supports_workers:
+        True when the method's query phase honours the ``workers=`` knob
+        (sharded execution over :mod:`repro.core.parallel`) with
+        byte-identical output for every worker count.
     """
 
     code: str
@@ -97,6 +102,7 @@ class FilterSpec:
     incremental_factory: Optional[
         Callable[[Mapping[str, object]], object]
     ] = None
+    supports_workers: bool = False
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -228,6 +234,11 @@ def family_codes(family: str, baselines: bool = True) -> Tuple[str, ...]:
 def incremental_codes() -> Tuple[str, ...]:
     """Codes of the methods with a streaming form, in row order."""
     return tuple(s.code for s in all_specs() if s.supports_incremental)
+
+
+def parallel_codes() -> Tuple[str, ...]:
+    """Codes of the methods honouring ``workers=``, in row order."""
+    return tuple(s.code for s in all_specs() if s.supports_workers)
 
 
 def excluded_cells() -> FrozenSet[Tuple[str, str]]:

@@ -222,6 +222,36 @@ class StageTrace:
     #: Backward-compatible alias — the old ``PhaseTimer`` vocabulary.
     phase = stage
 
+    def add_external(
+        self,
+        stage: StageLike,
+        seconds: float,
+        input_size: Optional[int] = None,
+        output_size: Optional[int] = None,
+    ) -> StageRecord:
+        """Record externally measured time under the active stage.
+
+        Parallel workers time their own shards; the parent attributes
+        those measurements here as child records of whatever stage is
+        active (top-level when none is).  Unlike nested :meth:`stage`
+        entries, external children ran *concurrently* with the parent,
+        so their summed seconds may legitimately exceed the parent's
+        wall time — ``exclusive_seconds`` of such a parent is not
+        meaningful and totals remain top-level-only as before.
+        """
+        name = _stage_name(stage)
+        scope = self._stack[-1].children if self._stack else self._records
+        record = scope.get(name)
+        if record is None:
+            record = scope[name] = StageRecord(name)
+        record.entries += 1
+        record.seconds += float(seconds)
+        if input_size is not None:
+            record.input_size = int(input_size)
+        if output_size is not None:
+            record.output_size = int(output_size)
+        return record
+
     def reset(self) -> None:
         self._records.clear()
         self._stack.clear()

@@ -2,6 +2,7 @@
 
 from .base import SparseNNFilter, batch_similarities
 from .epsilon_join import EpsilonJoin
+from .kernels import QueryTokens, min_overlap_bounds, query_tokens
 from .knn_join import (
     DefaultKNNJoin,
     KNNJoin,
@@ -39,6 +40,7 @@ __all__ = [
     "KNNJoin",
     "LegacyScanCountIndex",
     "PPJoin",
+    "QueryTokens",
     "ScanCountIndex",
     "TokenOrder",
     "SparseNNFilter",
@@ -52,6 +54,8 @@ __all__ = [
     "distinct_similarity_ranks",
     "jaccard",
     "jaccard_array",
+    "min_overlap_bounds",
+    "query_tokens",
     "set_similarity",
     "similarity_function",
     "vector_similarity_function",

@@ -5,25 +5,33 @@ Both ε-Join and kNN-Join share the same pipeline: optional cleaning
 indexing of one collection with ScanCount, then one *batched* overlap pass
 over the other collection.  This module factors that pipeline out.
 
-The query phase is fully vectorized: :meth:`ScanCountIndex.batch_overlaps`
-returns a CSR triple of overlap counts, similarities are computed on whole
-arrays (:func:`~repro.sparse.similarity.vector_similarity_function`), each
-join selects rows with NumPy masking/ranking (:meth:`_select_batch`), and
-the selected pairs are encoded directly into
+The query phase runs through the chunked counting kernels of
+:mod:`repro.sparse.kernels`: each join declares a *consumer*
+(:meth:`_consumer_params`) that reduces every query's count vector in
+place — the ε-Join masks with an integer overlap bound before the exact
+similarity check, the kNN join ranks cache-sized query blocks — so the
+flat overlap-row universe is never materialized on the hot path.  The
+selected pairs are encoded directly into
 :func:`~repro.core.fastpairs.encode_pairs` keys — no intermediate Python
-sets.  The per-query :meth:`_scored`/:meth:`_select` helpers survive as
-thin compatibility shims over the same kernel.
+sets.  A ``workers=`` knob shards the query axis over
+:mod:`repro.core.parallel` worker processes; results are byte-identical
+for every worker count (see the determinism argument there), and
+per-shard wall times land as nested ``shard-N`` records under the QUERY
+stage.  The per-query :meth:`_scored`/:meth:`_select` helpers and the
+materializing :meth:`_select_batch` survive as compatibility shims over
+the same kernels.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.candidates import CandidateSet
 from ..core.fastpairs import encode_pairs, keys_to_candidate_set, unique_keys
 from ..core.filters import Filter
+from ..core.parallel import resolve_workers
 from ..core.profile import EntityCollection
 from ..core.stages import INDEX, NN_STAGES, PREPROCESS, QUERY
 from ..text.cleaning import TextCleaner
@@ -73,6 +81,10 @@ class SparseNNFilter(Filter):
         The paper's RVS flag: index ``E2`` and use ``E1`` as the query set
         instead of the opposite.  Only meaningful for the cardinality-based
         joins; the range join is symmetric in its output.
+    workers:
+        Processes to shard the query phase over (``None`` = the
+        process-wide default from :func:`repro.core.parallel.
+        default_workers`; ``0`` = one per CPU; ``1`` = in-process).
     """
 
     stages = NN_STAGES
@@ -83,6 +95,7 @@ class SparseNNFilter(Filter):
         measure: str = "cosine",
         cleaning: bool = False,
         reverse: bool = False,
+        workers: Optional[int] = None,
     ) -> None:
         super().__init__()
         self.model = RepresentationModel(model)
@@ -91,6 +104,7 @@ class SparseNNFilter(Filter):
         self.vector_measure = vector_similarity_function(measure)
         self.cleaning = cleaning
         self.reverse = reverse
+        self.workers = workers
         self._cleaner = TextCleaner()
 
     def _token_sets(
@@ -119,18 +133,11 @@ class SparseNNFilter(Filter):
         with self.trace.stage(INDEX, input_size=len(indexed)):
             index = ScanCountIndex(indexed)
         with self.trace.stage(QUERY, input_size=len(queries)) as query:
-            query_ptr, set_ids, counts = index.batch_overlaps(queries)
-            similarities = batch_similarities(
-                index, queries, query_ptr, set_ids, counts, self.measure_name
-            )
-            query_ids = np.repeat(
-                np.arange(len(queries), dtype=np.int64), np.diff(query_ptr)
-            )
-            rows = self._select_batch(query_ids, set_ids, similarities)
+            query_ids, set_ids = self._select_pairs(index, queries)
             if self.reverse:
-                lefts, rights = query_ids[rows], set_ids[rows]
+                lefts, rights = query_ids, set_ids
             else:
-                lefts, rights = set_ids[rows], query_ids[rows]
+                lefts, rights = set_ids, query_ids
             width = max(1, len(right))
             keys = unique_keys(encode_pairs(lefts, rights, width))
             candidates = keys_to_candidate_set(keys, width)
@@ -140,6 +147,53 @@ class SparseNNFilter(Filter):
     # ------------------------------------------------------------------
     # Join-type specific selection.
     # ------------------------------------------------------------------
+
+    def _consumer_params(self) -> Optional[Dict[str, object]]:
+        """Kernel consumer + params answering this join, or ``None``.
+
+        Joins that declare a consumer run the non-materializing chunked
+        kernel (serial or sharded).  ``None`` falls back to the
+        materialize-then-:meth:`_select_batch` path, so external
+        subclasses that only implement ``_select_batch`` keep working.
+        """
+        return None
+
+    def _select_pairs(
+        self, index: ScanCountIndex, queries: Sequence[FrozenSet[str]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Selected ``(query_ids, set_ids)`` pairs over the whole batch."""
+        params = self._consumer_params()
+        workers = resolve_workers(self.workers)
+        if params is None:
+            query_ptr, set_ids, counts = index.batch_overlaps(
+                queries, workers=workers
+            )
+            similarities = batch_similarities(
+                index, queries, query_ptr, set_ids, counts, self.measure_name
+            )
+            query_ids = np.repeat(
+                np.arange(len(queries), dtype=np.int64), np.diff(query_ptr)
+            )
+            rows = self._select_batch(query_ids, set_ids, similarities)
+            return query_ids[rows], set_ids[rows]
+        params = dict(params)
+        consumer = str(params.pop("consumer"))
+        shards = index.run_kernel(consumer, queries, workers, **params)
+        if len(shards) > 1:
+            for position, shard in enumerate(shards):
+                self.trace.add_external(
+                    f"shard-{position}",
+                    shard.wall_s,
+                    input_size=shard.hi - shard.lo,
+                    output_size=len(shard.value[0]),
+                )
+        if not shards:
+            empty = np.zeros(0, dtype=np.int64)
+            return empty, empty
+        return (
+            np.concatenate([shard.value[0] for shard in shards]),
+            np.concatenate([shard.value[1] for shard in shards]),
+        )
 
     def _select_batch(
         self,

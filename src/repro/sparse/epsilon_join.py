@@ -8,6 +8,8 @@ their advantage (Section IV-C).
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 import numpy as np
 
 from .base import SparseNNFilter
@@ -26,11 +28,25 @@ class EpsilonJoin(SparseNNFilter):
         model: str = "T1G",
         measure: str = "cosine",
         cleaning: bool = False,
+        workers: Optional[int] = None,
     ) -> None:
         if not 0.0 <= threshold <= 1.0:
             raise ValueError(f"threshold must be in [0, 1], got {threshold}")
-        super().__init__(model=model, measure=measure, cleaning=cleaning)
+        super().__init__(
+            model=model, measure=measure, cleaning=cleaning, workers=workers
+        )
         self.threshold = threshold
+
+    def _consumer_params(self) -> Dict[str, object]:
+        # The epsilon kernel pushes the threshold into the counting loop
+        # via a per-size integer overlap bound; its survivors still pass
+        # the exact similarity check, so the pair set matches
+        # `_select_batch` bit for bit.
+        return {
+            "consumer": "epsilon",
+            "threshold": self.threshold,
+            "measure": self.measure_name,
+        }
 
     def _select_batch(
         self,

@@ -1,0 +1,479 @@
+"""Chunked, candidate-masked ScanCount counting kernels.
+
+The CSR ScanCount rewrite (PR 2) vectorized the *per-element* work of the
+overlap pass but still materialized every overlap row — ``(query, set,
+count)`` triples — before any join logic ran.  On ER-shaped data that
+intermediate is enormous: the 5k x 5k benchmark corpus produces ~19M
+overlap rows (76% of all pairs share a token), so the batch was memory-
+bound on an array nobody needed in full.  This module replaces that
+design with one *counting kernel* and several *consumers* that reduce
+each query's dense count vector in place, so the flat row universe is
+never materialized unless a caller explicitly asks for it:
+
+``count``
+    Overlapping-set cardinality per query (the full-scan benchmark row).
+``epsilon``
+    The range join: a per-query candidate mask ``counts >= min_overlap``
+    (a loose integer bound derived from the similarity threshold — the
+    prefix-filter trick transplanted to ScanCount) cuts the rows that
+    reach the exact similarity check by orders of magnitude.
+``knn``
+    The cardinality join: queries are processed in cache-sized blocks;
+    each block is ranked with the distinct-similarity tie rule and only
+    the rows of rank <= k survive the block.
+``materialize``
+    The historical ``batch_overlaps`` CSR triple, for callers that do
+    need every row (the sweep-once tuners).
+
+All kernels operate on plain arrays — the index's CSR triple
+``(token_ptr, postings, sizes)`` plus a query-token CSR
+(:func:`query_tokens`) — never on index *objects*, so the exact same
+code runs in-process and inside :mod:`repro.core.parallel` workers over
+``multiprocessing.shared_memory`` views.  Every consumer is
+deterministic and shard-oblivious: running queries ``[lo, hi)`` yields
+the identical rows the full run would produce for those queries, which
+is what makes the parallel merge byte-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .similarity import vector_similarity_function
+
+__all__ = [
+    "QueryTokens",
+    "query_tokens",
+    "count_overlaps_kernel",
+    "materialize_kernel",
+    "epsilon_kernel",
+    "knn_kernel",
+    "min_overlap_bounds",
+    "ranks_of_grouped_rows",
+    "run_consumer",
+    "CONSUMERS",
+    "KNN_BLOCK_QUERIES",
+]
+
+#: Queries per block in the kNN consumer: large enough to amortize the
+#: vectorized rank machinery, small enough that a block's flat rows stay
+#: cache-resident instead of ballooning to the full row universe.
+KNN_BLOCK_QUERIES = 256
+
+#: Safety factor applied to the integer overlap bounds: the bound is
+#: only a *pre-filter* (an exact similarity check follows), so it is
+#: loosened by one part in 1e9 to make float rounding incapable of
+#: excluding a row the exact check would keep.
+_BOUND_SLACK = 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class QueryTokens:
+    """CSR view of a query batch: token ids per query, plus true sizes.
+
+    ``ptr``/``token_ids`` delimit each query's in-vocabulary token ids
+    (ascending within a query); ``sizes`` is the *true* token-set
+    cardinality including out-of-vocabulary tokens, which is what the
+    similarity measures are defined over.
+    """
+
+    ptr: np.ndarray  # int64, len == num_queries + 1
+    token_ids: np.ndarray  # int64, flat
+    sizes: np.ndarray  # int64, len == num_queries
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+    def as_arrays(self) -> Dict[str, np.ndarray]:
+        """The triple as a named-array dict (shared-memory publishing)."""
+        return {
+            "qt_ptr": self.ptr,
+            "qt_ids": self.token_ids,
+            "qt_sizes": self.sizes,
+        }
+
+
+def query_tokens(
+    vocabulary: Mapping[str, int], queries: Sequence[FrozenSet[str]]
+) -> QueryTokens:
+    """Map a query batch onto the index vocabulary, once.
+
+    The per-query dict lookups happen here — a single pass — instead of
+    inside every consumer, and the result is a picklable/shareable array
+    triple rather than Python sets.
+    """
+    lengths = np.zeros(len(queries), dtype=np.int64)
+    sizes = np.zeros(len(queries), dtype=np.int64)
+    parts: List[List[int]] = []
+    for position, query in enumerate(queries):
+        sizes[position] = len(query)
+        ids = sorted(
+            vocabulary[token] for token in query if token in vocabulary
+        )
+        lengths[position] = len(ids)
+        if ids:
+            parts.append(ids)
+    flat = (
+        np.asarray([i for part in parts for i in part], dtype=np.int64)
+        if parts
+        else np.zeros(0, dtype=np.int64)
+    )
+    ptr = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(lengths)))
+    return QueryTokens(ptr=ptr, token_ids=flat, sizes=sizes)
+
+
+# ----------------------------------------------------------------------
+# The shared counting loop.
+# ----------------------------------------------------------------------
+#
+# Every consumer walks the same structure: for each query, gather its
+# posting slices and (for multi-token queries) count them with one
+# ``np.bincount`` over the touched slots.  Single-token queries skip the
+# count entirely — a posting slice *is* the sorted list of overlapping
+# sets, all with overlap 1.  Slice bounds are pre-resolved to Python
+# ints (``tolist``) so the hot loop never pays NumPy scalar-indexing
+# overhead.
+
+
+def _slice_bounds(
+    token_ptr: np.ndarray,
+    qt_ptr: np.ndarray,
+    qt_ids: np.ndarray,
+    lo: int,
+    hi: int,
+) -> Tuple[List[int], List[int], List[int], int]:
+    """Posting-slice bounds of queries ``[lo, hi)`` as Python ints."""
+    tlo = int(qt_ptr[lo])
+    thi = int(qt_ptr[hi])
+    ids = qt_ids[tlo:thi]
+    starts = token_ptr[ids].tolist()
+    ends = token_ptr[ids + 1].tolist()
+    qptr = (qt_ptr[lo : hi + 1] - tlo).tolist()
+    return starts, ends, qptr, thi - tlo
+
+
+def count_overlaps_kernel(
+    token_ptr: np.ndarray,
+    postings: np.ndarray,
+    sizes: np.ndarray,
+    qt_ptr: np.ndarray,
+    qt_ids: np.ndarray,
+    qt_sizes: np.ndarray,
+    lo: int,
+    hi: int,
+) -> np.ndarray:
+    """Number of overlapping indexed sets per query in ``[lo, hi)``.
+
+    The counting-only consumer: no row ids, no counts, no output arrays
+    beyond one integer per query.
+    """
+    num_sets = len(sizes)
+    out = np.zeros(hi - lo, dtype=np.int64)
+    if num_sets == 0:
+        return out
+    starts, ends, qptr, _total = _slice_bounds(token_ptr, qt_ptr, qt_ids, lo, hi)
+    bincount = np.bincount
+    count_nonzero = np.count_nonzero
+    concatenate = np.concatenate
+    for position in range(hi - lo):
+        a, b = qptr[position], qptr[position + 1]
+        if a == b:
+            continue
+        if b - a == 1:
+            out[position] = ends[a] - starts[a]
+            continue
+        merged = concatenate(
+            [postings[starts[t] : ends[t]] for t in range(a, b)]
+        )
+        out[position] = count_nonzero(bincount(merged, minlength=num_sets))
+    return out
+
+
+def materialize_kernel(
+    token_ptr: np.ndarray,
+    postings: np.ndarray,
+    sizes: np.ndarray,
+    qt_ptr: np.ndarray,
+    qt_ids: np.ndarray,
+    qt_sizes: np.ndarray,
+    lo: int,
+    hi: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The full CSR overlap triple for queries ``[lo, hi)``.
+
+    Byte-compatible with the historical ``batch_overlaps`` output
+    (int64 ``(query_ptr, set_ids, counts)``, set ids ascending within a
+    query); ``query_ptr`` is local to the range.
+    """
+    num_sets = len(sizes)
+    lengths = np.zeros(hi - lo, dtype=np.int64)
+    id_parts: List[np.ndarray] = []
+    count_parts: List[np.ndarray] = []
+    if num_sets:
+        starts, ends, qptr, _t = _slice_bounds(token_ptr, qt_ptr, qt_ids, lo, hi)
+        bincount = np.bincount
+        flatnonzero = np.flatnonzero
+        concatenate = np.concatenate
+        for position in range(hi - lo):
+            a, b = qptr[position], qptr[position + 1]
+            if a == b:
+                continue
+            if b - a == 1:
+                ids = postings[starts[a] : ends[a]].astype(np.int64)
+                counts = np.ones(len(ids), dtype=np.int64)
+            else:
+                merged = concatenate(
+                    [postings[starts[t] : ends[t]] for t in range(a, b)]
+                )
+                dense = bincount(merged, minlength=num_sets)
+                ids = flatnonzero(dense)
+                counts = dense[ids]
+            lengths[position] = len(ids)
+            id_parts.append(ids)
+            count_parts.append(counts)
+    query_ptr = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(lengths))
+    )
+    if id_parts:
+        return query_ptr, np.concatenate(id_parts), np.concatenate(count_parts)
+    return (
+        query_ptr,
+        np.zeros(0, dtype=np.int64),
+        np.zeros(0, dtype=np.int64),
+    )
+
+
+# ----------------------------------------------------------------------
+# Join consumers.
+# ----------------------------------------------------------------------
+
+
+def min_overlap_bounds(
+    measure: str, threshold: float, sizes: np.ndarray, query_size: int
+) -> np.ndarray:
+    """Loose integer lower bound on the overlap a candidate pair needs.
+
+    For every indexed-set size ``a`` in ``sizes`` and a query of size
+    ``query_size``, any pair with similarity >= ``threshold`` must have
+    overlap >= the returned bound — the ScanCount analogue of the prefix
+    filter.  The bound is *necessary, not sufficient*: survivors still
+    go through the exact vectorized similarity check, so float rounding
+    in the bound can only cost work, never correctness (and the
+    ``_BOUND_SLACK`` factor makes even that one-sided).
+    """
+    a = sizes.astype(np.float64)
+    b = float(query_size)
+    if measure == "cosine":
+        exact = threshold * np.sqrt(a * b)
+    elif measure == "dice":
+        exact = threshold * (a + b) / 2.0
+    elif measure == "jaccard":
+        exact = threshold * (a + b) / (1.0 + threshold)
+    else:  # pragma: no cover - similarity module validates measures
+        raise ValueError(f"unknown measure {measure!r}")
+    return np.maximum(1, np.floor(exact * _BOUND_SLACK).astype(np.int64))
+
+
+def epsilon_kernel(
+    token_ptr: np.ndarray,
+    postings: np.ndarray,
+    sizes: np.ndarray,
+    qt_ptr: np.ndarray,
+    qt_ids: np.ndarray,
+    qt_sizes: np.ndarray,
+    lo: int,
+    hi: int,
+    threshold: float,
+    measure: str,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Range-join pairs ``(query_id, set_id)`` for queries ``[lo, hi)``.
+
+    Each query's dense count vector is masked with the per-size overlap
+    bound before the exact similarity check, so only genuine candidates
+    ever leave the counting loop.  Query ids are global (``lo`` offset
+    applied).  The selected pair *set* is identical to filtering the
+    materialized rows with ``similarity >= threshold``.
+    """
+    num_sets = len(sizes)
+    empty = np.zeros(0, dtype=np.int64)
+    if num_sets == 0 or hi <= lo:
+        return empty, empty
+    vector_measure = vector_similarity_function(measure)
+    starts, ends, qptr, _t = _slice_bounds(token_ptr, qt_ptr, qt_ids, lo, hi)
+    query_sizes = qt_sizes[lo:hi].tolist()
+    bounds_by_size: Dict[int, np.ndarray] = {}
+    query_parts: List[np.ndarray] = []
+    set_parts: List[np.ndarray] = []
+    bincount = np.bincount
+    flatnonzero = np.flatnonzero
+    concatenate = np.concatenate
+    for position in range(hi - lo):
+        a, b = qptr[position], qptr[position + 1]
+        if a == b:
+            continue
+        size = query_sizes[position]
+        required = bounds_by_size.get(size)
+        if required is None:
+            required = min_overlap_bounds(measure, threshold, sizes, size)
+            bounds_by_size[size] = required
+        if b - a == 1:
+            candidates = postings[starts[a] : ends[a]].astype(np.int64)
+            candidates = candidates[required[candidates] <= 1]
+            overlaps = np.ones(len(candidates), dtype=np.int64)
+        else:
+            merged = concatenate(
+                [postings[starts[t] : ends[t]] for t in range(a, b)]
+            )
+            dense = bincount(merged, minlength=num_sets)
+            candidates = flatnonzero(dense >= required)
+            overlaps = dense[candidates]
+        if len(candidates) == 0:
+            continue
+        similarities = vector_measure(
+            sizes[candidates],
+            np.full(len(candidates), size, dtype=np.int64),
+            overlaps,
+        )
+        keep = candidates[similarities >= threshold]
+        if len(keep):
+            set_parts.append(keep)
+            query_parts.append(
+                np.full(len(keep), lo + position, dtype=np.int64)
+            )
+    if not query_parts:
+        return empty, empty
+    return np.concatenate(query_parts), np.concatenate(set_parts)
+
+
+def ranks_of_grouped_rows(
+    query_ids: np.ndarray, similarities: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distinct-similarity ranks of rows already grouped by query.
+
+    Precondition: ``query_ids`` is non-decreasing and rows within one
+    query are in ascending set-id order (the CSR layout every kernel
+    emits).  Under that precondition a *two*-key stable sort — by query,
+    then similarity descending — reproduces the historical three-key
+    ``lexsort((set_ids, -similarities, query_ids))`` exactly, because
+    stability supplies the ascending-set-id tiebreak for free.  Returns
+    ``(order, ranks)`` exactly like
+    :func:`repro.sparse.knn_join.distinct_similarity_ranks`.
+    """
+    if len(similarities) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    order = np.lexsort((-similarities, query_ids))
+    ordered_queries = query_ids[order]
+    ordered_sims = similarities[order]
+    new_query = np.empty(len(order), dtype=bool)
+    new_query[0] = True
+    new_query[1:] = ordered_queries[1:] != ordered_queries[:-1]
+    new_value = new_query.copy()
+    new_value[1:] |= ordered_sims[1:] != ordered_sims[:-1]
+    value_index = np.cumsum(new_value)
+    query_starts = np.flatnonzero(new_query)
+    rows_per_query = np.diff(np.append(query_starts, len(order)))
+    base = np.repeat(value_index[query_starts] - 1, rows_per_query)
+    return order, value_index - base
+
+
+def knn_kernel(
+    token_ptr: np.ndarray,
+    postings: np.ndarray,
+    sizes: np.ndarray,
+    qt_ptr: np.ndarray,
+    qt_ids: np.ndarray,
+    qt_sizes: np.ndarray,
+    lo: int,
+    hi: int,
+    k: int,
+    measure: str,
+    block: int = KNN_BLOCK_QUERIES,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """kNN-join pairs ``(query_id, set_id)`` for queries ``[lo, hi)``.
+
+    Queries are processed in blocks of ``block``: each block's rows are
+    materialized, ranked with the distinct-similarity tie rule, and cut
+    to rank <= k before the next block starts — peak memory is one
+    block's rows, not the full row universe.  Ranks are per-query, so
+    blocking (at any boundary) cannot change the selection.
+    """
+    vector_measure = vector_similarity_function(measure)
+    query_parts: List[np.ndarray] = []
+    set_parts: List[np.ndarray] = []
+    for block_lo in range(lo, hi, block):
+        block_hi = min(block_lo + block, hi)
+        local_ptr, set_ids, counts = materialize_kernel(
+            token_ptr, postings, sizes,
+            qt_ptr, qt_ids, qt_sizes, block_lo, block_hi,
+        )
+        if len(set_ids) == 0:
+            continue
+        rows_per_query = np.diff(local_ptr)
+        query_ids = np.repeat(
+            np.arange(block_lo, block_hi, dtype=np.int64), rows_per_query
+        )
+        similarities = vector_measure(
+            sizes[set_ids],
+            np.repeat(qt_sizes[block_lo:block_hi], rows_per_query),
+            counts,
+        )
+        order, ranks = ranks_of_grouped_rows(query_ids, similarities)
+        selected = order[ranks <= k]
+        if len(selected):
+            query_parts.append(query_ids[selected])
+            set_parts.append(set_ids[selected])
+    if not query_parts:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(query_parts), np.concatenate(set_parts)
+
+
+# ----------------------------------------------------------------------
+# Worker dispatch.
+# ----------------------------------------------------------------------
+
+#: Consumer name -> kernel.  The parallel layer addresses kernels by
+#: name (strings survive pickling under every start method); each kernel
+#: receives the shared arrays plus its query range and keyword params.
+CONSUMERS: Dict[str, Callable] = {
+    "count": count_overlaps_kernel,
+    "materialize": materialize_kernel,
+    "epsilon": epsilon_kernel,
+    "knn": knn_kernel,
+}
+
+
+def run_consumer(
+    arrays: Mapping[str, np.ndarray],
+    lo: int,
+    hi: int,
+    params: Mapping[str, object],
+):
+    """Entry point executed by parallel workers (and usable in-process).
+
+    ``arrays`` holds the index CSR triple and the query-token CSR under
+    their canonical names; ``params`` carries ``consumer`` plus the
+    kernel's keyword arguments.  ``_inject_fail`` is a fault-injection
+    hook for the crash-cleanup tests: it raises inside the worker after
+    attach, exercising the pool's failure path end to end.
+    """
+    params = dict(params)
+    name = str(params.pop("consumer"))
+    if params.pop("_inject_fail", False):
+        raise RuntimeError(f"injected worker failure in consumer {name!r}")
+    kernel = CONSUMERS[name]
+    return kernel(
+        arrays["token_ptr"],
+        arrays["postings"],
+        arrays["sizes"],
+        arrays["qt_ptr"],
+        arrays["qt_ids"],
+        arrays["qt_sizes"],
+        int(lo),
+        int(hi),
+        **params,
+    )

@@ -14,6 +14,8 @@ overlap counts without the size partitioning.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 import numpy as np
 
 from .base import SparseNNFilter
@@ -70,13 +72,25 @@ class KNNJoin(SparseNNFilter):
         measure: str = "cosine",
         cleaning: bool = False,
         reverse: bool = False,
+        workers: Optional[int] = None,
     ) -> None:
         if k < 1:
             raise ValueError(f"k must be positive, got {k}")
         super().__init__(
-            model=model, measure=measure, cleaning=cleaning, reverse=reverse
+            model=model,
+            measure=measure,
+            cleaning=cleaning,
+            reverse=reverse,
+            workers=workers,
         )
         self.k = k
+
+    def _consumer_params(self) -> Dict[str, object]:
+        # The knn kernel ranks cache-sized query blocks with the same
+        # distinct-similarity tie rule and keeps rank <= k per block, so
+        # the selection matches `_select_batch` without ever holding the
+        # full overlap-row universe.
+        return {"consumer": "knn", "k": self.k, "measure": self.measure_name}
 
     def _select_batch(
         self,
@@ -103,8 +117,10 @@ class DefaultKNNJoin(KNNJoin):
 
     name = "dknn"
 
-    def __init__(self, k: int = 5) -> None:
-        super().__init__(k=k, model="C5GM", measure="cosine", cleaning=True)
+    def __init__(self, k: int = 5, workers: Optional[int] = None) -> None:
+        super().__init__(
+            k=k, model="C5GM", measure="cosine", cleaning=True, workers=workers
+        )
 
     def _run(self, left, right, attribute):
         self.reverse = len(left) < len(right)

@@ -12,9 +12,11 @@ thresholds that ER requires.
 Storage layout
 --------------
 The index is stored in CSR (compressed sparse row) form: a vocabulary
-``Dict[str, int]`` maps tokens to dense token ids, ``token_ptr`` (int64,
-length ``vocabulary_size + 1``) delimits each token's slice of
-``postings`` (int32 set ids, ascending within a slice).  A batched query
+``Dict[str, int]`` maps tokens to token ids (the flat position of each
+token's first occurrence — sparse, not dense, so the whole build runs at
+C speed), ``token_ptr`` (int64) delimits each token's slice of
+``postings`` (int32 set ids, ascending within a slice); slices at
+never-assigned ids are empty and unreachable through the vocabulary.  A batched query
 concatenates each query's posting slices (contiguous views, no Python
 iteration over postings) and counts them with one ``np.bincount``, so the
 per-element work happens in NumPy rather than in a Python dict-merge
@@ -33,14 +35,18 @@ lazily compacted CSR snapshot with tombstoned removals — wrapped by
 
 from __future__ import annotations
 
+import itertools
+from itertools import chain
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.incremental import IncrementalIndex
+from ..core.parallel import query_shards, resolve_workers, run_sharded
 from ..core.profile import EntityProfile
 from ..text.cleaning import TextCleaner
 from ..text.tokenizers import RepresentationModel
+from .kernels import query_tokens
 from .similarity import vector_similarity_function
 
 __all__ = [
@@ -59,30 +65,42 @@ class ScanCountIndex:
     """
 
     def __init__(self, token_sets: Sequence[FrozenSet[str]]) -> None:
-        sizes: List[int] = []
+        token_sets = list(token_sets)
+        count = len(token_sets)
+        self._sizes = np.fromiter(
+            map(len, token_sets), dtype=np.int64, count=count
+        )
+        total = int(self._sizes.sum())
+        # One pass entirely in C: each token's id is the flat position of
+        # its first occurrence (``setdefault`` hands the position back on
+        # repeats).  Ids are *sparse* — token_ptr simply has empty slices
+        # at never-assigned positions, which no query can ever reference
+        # because the vocabulary only maps to assigned ids.
         vocabulary: Dict[str, int] = {}
-        token_ids: List[int] = []
-        set_ids: List[int] = []
-        for set_id, tokens in enumerate(token_sets):
-            sizes.append(len(tokens))
-            for token in tokens:
-                token_id = vocabulary.setdefault(token, len(vocabulary))
-                token_ids.append(token_id)
-                set_ids.append(set_id)
+        tokens_arr = np.fromiter(
+            map(
+                vocabulary.setdefault,
+                chain.from_iterable(token_sets),
+                itertools.count(),
+            ),
+            dtype=np.int64,
+            count=total,
+        )
         self._vocabulary = vocabulary
-        self._sizes = np.asarray(sizes, dtype=np.int64)
-        tokens_arr = np.asarray(token_ids, dtype=np.int64)
-        sets_arr = np.asarray(set_ids, dtype=np.int32)
-        counts = np.bincount(tokens_arr, minlength=len(vocabulary)).astype(
-            np.int64
-        )
-        self._token_ptr = np.concatenate(
-            (np.zeros(1, dtype=np.int64), np.cumsum(counts))
-        )
-        # Stable sort groups by token while keeping set ids ascending
-        # inside every posting slice (sets were enumerated in order).
-        order = np.argsort(tokens_arr, kind="stable")
-        self._postings_arr = sets_arr[order]
+        sets_arr = np.repeat(np.arange(count, dtype=np.int32), self._sizes)
+        counts = np.bincount(tokens_arr, minlength=total)
+        self._token_ptr = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._token_ptr[1:])
+        # Group by token with set ids ascending inside every slice: an
+        # in-place sort of the packed (token, set) key is far cheaper
+        # than a stable argsort + gather.  All three packing ops mutate
+        # tokens_arr in place rather than allocating temporaries.
+        composite = tokens_arr
+        composite <<= 32
+        composite |= sets_arr
+        composite.sort()
+        composite &= 0xFFFFFFFF
+        self._postings_arr = composite.astype(np.int32)
 
     # ------------------------------------------------------------------
     # Introspection.
@@ -141,8 +159,45 @@ class ScanCountIndex:
             vocabulary[token] for token in query if token in vocabulary
         ]
 
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The index as named immutable arrays (kernel/shared-memory form).
+
+        This is the exact payload :mod:`repro.core.parallel` publishes to
+        worker processes and :mod:`repro.sparse.kernels` consumes.
+        """
+        return {
+            "token_ptr": self._token_ptr,
+            "postings": self._postings_arr,
+            "sizes": self._sizes,
+        }
+
+    def run_kernel(
+        self,
+        consumer: str,
+        queries: Sequence[FrozenSet[str]],
+        workers: Optional[int] = None,
+        **params,
+    ):
+        """Shard ``queries`` over a named kernel consumer.
+
+        Returns the ordered per-shard :class:`~repro.core.parallel.
+        ShardResult` list; consumers are the reduction kernels of
+        :mod:`repro.sparse.kernels` (``count`` / ``materialize`` /
+        ``epsilon`` / ``knn``).
+        """
+        qt = query_tokens(self._vocabulary, queries)
+        workers = resolve_workers(workers)
+        return run_sharded(
+            {**self.arrays(), **qt.as_arrays()},
+            {"consumer": consumer, **params},
+            query_shards(len(queries), workers),
+            workers=workers,
+        )
+
     def batch_overlaps(
-        self, queries: Sequence[FrozenSet[str]]
+        self,
+        queries: Sequence[FrozenSet[str]],
+        workers: Optional[int] = None,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Exact overlaps of every query with every indexed set, batched.
 
@@ -152,45 +207,52 @@ class ScanCountIndex:
         query the set ids are ascending; sets sharing no token are absent
         (overlap 0).  Empty and fully out-of-vocabulary queries yield
         empty slices.
+
+        ``workers`` shards the query axis across processes
+        (:mod:`repro.core.parallel`); the output is byte-identical for
+        every worker count.  Note the full triple is the *materializing*
+        consumer — callers that only need a reduction (counts, a
+        threshold selection, top-k) should use :meth:`count_overlaps` or
+        the join kernels, which never build the flat row universe.
         """
-        num_sets = len(self._sizes)
         num_queries = len(queries)
-        lengths = np.zeros(num_queries, dtype=np.int64)
-        ptr = self._token_ptr
-        postings = self._postings_arr
+        query_ptr = np.zeros(num_queries + 1, dtype=np.int64)
+        if len(self._sizes) == 0 or num_queries == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return query_ptr, empty, empty
+        results = self.run_kernel("materialize", queries, workers)
         id_parts: List[np.ndarray] = []
         count_parts: List[np.ndarray] = []
-        if num_sets:
-            for position, query in enumerate(queries):
-                token_ids = self._query_token_ids(query)
-                if not token_ids:
-                    continue
-                if len(token_ids) == 1:
-                    # A posting slice is never empty — view it in place.
-                    token = token_ids[0]
-                    merged = postings[ptr[token] : ptr[token + 1]]
-                else:
-                    merged = np.concatenate(
-                        [
-                            postings[ptr[token] : ptr[token + 1]]
-                            for token in token_ids
-                        ]
-                    )
-                counts_for_query = np.bincount(merged, minlength=num_sets)
-                overlapping = np.flatnonzero(counts_for_query)
-                lengths[position] = len(overlapping)
-                id_parts.append(overlapping)
-                count_parts.append(counts_for_query[overlapping])
-        query_ptr = np.concatenate(
-            (np.zeros(1, dtype=np.int64), np.cumsum(lengths))
+        offset = 0
+        for shard in results:
+            local_ptr, set_ids, counts = shard.value
+            query_ptr[shard.lo + 1 : shard.hi + 1] = local_ptr[1:] + offset
+            offset += int(local_ptr[-1])
+            id_parts.append(set_ids)
+            count_parts.append(counts)
+        return (
+            query_ptr,
+            np.concatenate(id_parts),
+            np.concatenate(count_parts),
         )
-        if id_parts:
-            set_ids = np.concatenate(id_parts)
-            counts = np.concatenate(count_parts)
-        else:
-            set_ids = np.zeros(0, dtype=np.int64)
-            counts = np.zeros(0, dtype=np.int64)
-        return query_ptr, set_ids, counts
+
+    def count_overlaps(
+        self,
+        queries: Sequence[FrozenSet[str]],
+        workers: Optional[int] = None,
+    ) -> np.ndarray:
+        """Number of overlapping indexed sets per query (int64 array).
+
+        The counting-only consumer: equivalent to
+        ``np.diff(batch_overlaps(queries)[0])`` but never materializes
+        the overlap rows, making it memory-bound-proof on dense data.
+        """
+        out = np.zeros(len(queries), dtype=np.int64)
+        if len(self._sizes) == 0 or len(queries) == 0:
+            return out
+        for shard in self.run_kernel("count", queries, workers):
+            out[shard.lo : shard.hi] = shard.value
+        return out
 
     def overlaps(self, query: FrozenSet[str]) -> Dict[int, int]:
         """Exact overlap of ``query`` with every indexed set sharing a token.
@@ -282,6 +344,9 @@ class DynamicPostings:
         self._dead_postings = 0
         self._live: Dict[int, FrozenSet[str]] = {}
         self._live_postings = 0
+        # Sorted live slots + parallel sizes, rebuilt lazily after any
+        # mutation — the vectorized liveness mask of `overlap_arrays`.
+        self._live_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     def __len__(self) -> int:
         return len(self._live)
@@ -302,6 +367,7 @@ class DynamicPostings:
         self._high_water = slot + 1
         self._live[slot] = tokens
         self._live_postings += len(tokens)
+        self._live_cache = None
         for token in tokens:
             self._delta.setdefault(token, []).append(slot)
         self._delta_postings += len(tokens)
@@ -312,24 +378,82 @@ class DynamicPostings:
         tokens = self._live.pop(slot)
         self._live_postings -= len(tokens)
         self._dead_postings += len(tokens)
+        self._live_cache = None
         self._maybe_compact()
 
-    def overlap_counts(self, query: FrozenSet[str]) -> Dict[int, int]:
-        """Exact token overlap of ``query`` with every live set, by slot."""
-        counts: Dict[int, int] = {}
-        live = self._live
+    def _live_index(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Sorted live slots and their set sizes (cached between mutations)."""
+        if self._live_cache is None:
+            slots = np.fromiter(
+                sorted(self._live), dtype=np.int64, count=len(self._live)
+            )
+            sizes = np.fromiter(
+                (len(self._live[slot]) for slot in slots.tolist()),
+                dtype=np.int64,
+                count=len(slots),
+            )
+            self._live_cache = (slots, sizes)
+        return self._live_cache
+
+    def overlap_arrays(
+        self, query: FrozenSet[str]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact overlaps of ``query`` with every live set, as flat arrays.
+
+        Returns ``(slots, overlaps, sizes)`` — overlapping live slots (in
+        unspecified but deterministic order), their token overlap with the
+        query, and their set cardinalities.  This is the vectorized
+        serving-path kernel: the CSR snapshot contributes through
+        :meth:`ScanCountIndex.batch_overlaps`, the delta dict through one
+        ``np.unique(return_counts=True)`` merge, and tombstones are
+        masked with a single ``searchsorted`` against the sorted live
+        slots.  The two contributions are disjoint by construction (a
+        slot lives in the snapshot *or* the delta, never both).
+        """
+        empty = np.zeros(0, dtype=np.int64)
+        live_slots, live_sizes = self._live_index()
+        if len(live_slots) == 0:
+            return empty, empty, empty
+        slot_parts: List[np.ndarray] = []
+        count_parts: List[np.ndarray] = []
         if self._csr is not None and len(self._csr):
             __, set_ids, csr_counts = self._csr.batch_overlaps([query])
-            slots = self._csr_slots[set_ids]
-            for slot, count in zip(slots.tolist(), csr_counts.tolist()):
-                if slot in live:
-                    counts[slot] = count
+            if len(set_ids):
+                slot_parts.append(self._csr_slots[set_ids])
+                count_parts.append(csr_counts)
         delta = self._delta
-        for token in query:
-            for slot in delta.get(token, ()):
-                if slot in live:
-                    counts[slot] = counts.get(slot, 0) + 1
-        return counts
+        delta_lists = [delta[token] for token in query if token in delta]
+        if delta_lists:
+            if len(delta_lists) == 1:
+                merged = np.asarray(delta_lists[0], dtype=np.int64)
+            else:
+                merged = np.concatenate(
+                    [
+                        np.asarray(posting, dtype=np.int64)
+                        for posting in delta_lists
+                    ]
+                )
+            delta_slots, delta_counts = np.unique(merged, return_counts=True)
+            slot_parts.append(delta_slots)
+            count_parts.append(delta_counts.astype(np.int64))
+        if not slot_parts:
+            return empty, empty, empty
+        slots = np.concatenate(slot_parts)
+        overlaps = np.concatenate(count_parts)
+        positions = np.searchsorted(live_slots, slots)
+        positions = np.minimum(positions, len(live_slots) - 1)
+        alive = live_slots[positions] == slots
+        positions = positions[alive]
+        return slots[alive], overlaps[alive], live_sizes[positions]
+
+    def overlap_counts(self, query: FrozenSet[str]) -> Dict[int, int]:
+        """Exact token overlap of ``query`` with every live set, by slot.
+
+        Dict view over :meth:`overlap_arrays`, kept for callers that want
+        mapping semantics rather than the vectorized arrays.
+        """
+        slots, overlaps, __ = self.overlap_arrays(query)
+        return dict(zip(slots.tolist(), overlaps.tolist()))
 
     # ------------------------------------------------------------------
     # Lazy compaction.
@@ -350,6 +474,7 @@ class DynamicPostings:
         self._delta = {}
         self._delta_postings = 0
         self._dead_postings = 0
+        self._live_cache = None
         self.compactions += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -423,18 +548,9 @@ class IncrementalScanCountFilter(IncrementalIndex):
         if eps is None and k is None:
             eps, k = self.threshold, self.k
         tokens = self._tokens(profile)
-        counts = self._postings.overlap_counts(tokens)
-        if not counts:
+        slots, overlaps, sizes = self._postings.overlap_arrays(tokens)
+        if len(slots) == 0:
             return ()
-        slots = np.fromiter(counts.keys(), dtype=np.int64, count=len(counts))
-        overlaps = np.fromiter(
-            counts.values(), dtype=np.int64, count=len(counts)
-        )
-        sizes = np.fromiter(
-            (self._postings.size_of(int(slot)) for slot in slots),
-            dtype=np.int64,
-            count=len(slots),
-        )
         query_sizes = np.full(len(slots), len(tokens), dtype=np.int64)
         similarities = self.vector_measure(sizes, query_sizes, overlaps)
         if eps is not None:

@@ -87,11 +87,15 @@ class _OverlapMatrix:
         indexed_sets: List[FrozenSet[str]],
         query_sets: List[FrozenSet[str]],
         gt_pairs: Sequence[Tuple[int, int]],
+        workers: Optional[int] = None,
     ) -> None:
         self.index = ScanCountIndex(indexed_sets)
         num_sets = len(indexed_sets)
+        # The sweep needs every overlap row (thresholds/k are decided
+        # *after* this pass), so this is the one caller that genuinely
+        # wants the materializing consumer — sharded when workers > 1.
         query_ptr, self.set_ids, self.counts = self.index.batch_overlaps(
-            query_sets
+            query_sets, workers=workers
         )
         rows_per_query = np.diff(query_ptr)
         self.query_ids = np.repeat(
@@ -158,9 +162,11 @@ class EpsilonJoinTuner:
         self,
         target_recall: float = DEFAULT_RECALL_TARGET,
         profile: str = "",
+        workers: Optional[int] = None,
     ) -> None:
         self.target_recall = target_recall
         self.profile = spaces.active_profile(profile)
+        self.workers = workers
 
     def tune(
         self, dataset: ERDataset, attribute: Optional[str] = None
@@ -176,7 +182,9 @@ class EpsilonJoinTuner:
             for model in spaces.representation_models(self.profile):
                 left_sets = tokenize_collection(left_texts, model, cleaning)
                 right_sets = tokenize_collection(right_texts, model, cleaning)
-                matrix = _OverlapMatrix(left_sets, right_sets, duplicates)
+                matrix = _OverlapMatrix(
+                    left_sets, right_sets, duplicates, workers=self.workers
+                )
                 for measure in measures:
                     tried += 1
                     # Feasible threshold: the needed-th highest duplicate
@@ -230,6 +238,7 @@ class EpsilonJoinTuner:
             model=str(params["model"]),
             measure=str(params["measure"]),
             cleaning=bool(params["cleaning"]),
+            workers=self.workers,
         )
 
 
@@ -242,9 +251,11 @@ class KNNJoinTuner:
         self,
         target_recall: float = DEFAULT_RECALL_TARGET,
         profile: str = "",
+        workers: Optional[int] = None,
     ) -> None:
         self.target_recall = target_recall
         self.profile = spaces.active_profile(profile)
+        self.workers = workers
 
     def tune(
         self, dataset: ERDataset, attribute: Optional[str] = None
@@ -271,7 +282,10 @@ class KNNJoinTuner:
                     query_sets = tokenize_collection(
                         query_texts, model, cleaning
                     )
-                    matrix = _OverlapMatrix(indexed_sets, query_sets, gt_pairs)
+                    matrix = _OverlapMatrix(
+                        indexed_sets, query_sets, gt_pairs,
+                        workers=self.workers,
+                    )
                     for measure in measures:
                         result = self._sweep(
                             matrix,
@@ -357,6 +371,7 @@ class KNNJoinTuner:
             measure=str(params["measure"]),
             cleaning=bool(params["cleaning"]),
             reverse=bool(params["reverse"]),
+            workers=self.workers,
         )
 
 
@@ -411,6 +426,7 @@ def _register() -> None:
                 incremental_factory=lambda params, code=code: (
                     _build_incremental(code, params)
                 ),
+                supports_workers=True,
             )
         )
 

@@ -88,3 +88,12 @@ class TestArgumentParsing:
         ):
             with pytest.raises(SystemExit):
                 self._parse(*argv)
+
+    def test_workers_flag(self):
+        import pytest
+
+        assert self._parse().workers is None
+        assert self._parse("--workers", "4").workers == 4
+        assert self._parse("--workers", "0").workers == 0  # one per CPU
+        with pytest.raises(SystemExit):
+            self._parse("--workers", "-1")

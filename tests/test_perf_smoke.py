@@ -1,13 +1,17 @@
-"""Perf smoke test: the CSR kernel must not be slower than the legacy path.
+"""Perf smoke test: the CSR kernels must not be slower than the legacy path.
 
 A tiny-budget run of ``benchmarks/bench_sparse_kernel.py`` (2k-entity
-corpus, 1000 per side) asserting the vectorized tuner sweep beats the
-legacy per-query loop.  Run just this guard with ``pytest -m perf_smoke``;
-it is skipped on known-slow CI boxes (``CI=slow-box``) where wall-clock
-comparisons are noise.
+corpus, 1000 per side) asserting every query-phase ``*_csr`` kernel beats
+its ``*_legacy`` twin, plus the aggregation contract of the trajectory
+file.  Run just this guard with ``pytest -m perf_smoke``; it is skipped
+on known-slow CI boxes (``CI=slow-box``) where wall-clock comparisons
+are noise.  The full 5k-scale assertion (every kernel, index build
+included) is gated behind ``PERF_SMOKE_FULL=1`` — CI's dedicated perf
+step sets it; the default test run stays fast.
 """
 
 import importlib.util
+import json
 import os
 from pathlib import Path
 
@@ -18,6 +22,11 @@ pytestmark = pytest.mark.perf_smoke
 _BENCH_PATH = (
     Path(__file__).resolve().parent.parent / "benchmarks" / "bench_sparse_kernel.py"
 )
+
+#: Query-phase stages whose CSR kernel must win at any scale.
+QUERY_STAGES = ("batch_query", "ejoin", "knn", "ejoin_tuner_sweep")
+
+ROW_SCHEMA = {"kernel", "dataset", "workers", "wall_s", "candidates", "runs"}
 
 
 def _load_bench():
@@ -33,32 +42,114 @@ def _load_bench():
     os.environ.get("CI") == "slow-box",
     reason="wall-clock comparisons are unreliable on the slow CI box",
 )
-def test_kernel_at_least_as_fast_as_legacy(tmp_path):
+def test_kernel_at_least_as_fast_as_legacy():
     bench = _load_bench()
     rows = bench.run_benchmarks(1000, model="T1G", seed=7)
     # The asserts inside run_benchmarks already guarantee identical
-    # candidate counts; here we pin the perf contract on the stage with
-    # the largest margin (the tuner sweep) so the test stays robust.
-    assert bench.speedup(rows, "ejoin_tuner_sweep") >= 1.0
-    # The bench must emit a valid BENCH_sparse.json trajectory.
-    out = tmp_path / "BENCH_sparse.json"
-    bench.write_rows(rows, out)
-    bench.write_rows(rows, out)  # appends, never truncates
-    import json
-
-    recorded = json.loads(out.read_text())
-    assert len(recorded) == 2 * len(rows)
-    assert {"kernel", "dataset", "wall_s", "candidates"} <= set(recorded[0])
+    # candidate counts; here we pin the perf contract: every query-phase
+    # CSR kernel must at least match the legacy loop.  (Index build is
+    # excluded at this tiny scale — sub-millisecond walls are noise — and
+    # asserted by the 5k-scale test below.)
+    for stage in QUERY_STAGES:
+        assert bench.speedup(rows, stage) >= 1.0, stage
+    assert ROW_SCHEMA <= set(rows[0])
     # The serving-path row rides along in the same trajectory.
     kernels = {row["kernel"] for row in rows}
     assert "incremental_mixed_ops" in kernels
 
 
+def test_write_rows_aggregates_instead_of_duplicating(tmp_path):
+    bench = _load_bench()
+    rows = [
+        {
+            "kernel": "batch_query_csr",
+            "dataset": "bench-1000x1000-T1G",
+            "workers": 1,
+            "wall_s": 0.5,
+            "candidates": 123,
+            "runs": 3,
+        },
+        {
+            "kernel": "batch_query_csr",
+            "dataset": "bench-1000x1000-T1G",
+            "workers": 2,
+            "wall_s": 0.4,
+            "candidates": 123,
+            "runs": 3,
+        },
+    ]
+    out = tmp_path / "BENCH_sparse.json"
+    bench.write_rows(rows, out)
+    bench.write_rows(rows, out)  # aggregates, never appends duplicates
+    recorded = json.loads(out.read_text())
+    assert len(recorded) == len(rows)
+    by_key = {(r["kernel"], r["workers"]): r for r in recorded}
+    assert by_key[("batch_query_csr", 1)]["runs"] == 6
+    assert by_key[("batch_query_csr", 1)]["wall_s"] == pytest.approx(0.5)
+    assert ROW_SCHEMA <= set(recorded[0])
+    # No temp file left behind (the rewrite is tmp + os.replace).
+    assert list(tmp_path.iterdir()) == [out]
+
+
+def test_write_rows_weighted_median_and_workload_reset(tmp_path):
+    bench = _load_bench()
+    out = tmp_path / "BENCH_sparse.json"
+    base = {
+        "kernel": "ejoin_csr",
+        "dataset": "bench-1000x1000-T1G",
+        "workers": 1,
+        "candidates": 99,
+    }
+    bench.write_rows([dict(base, wall_s=1.0, runs=5)], out)
+    bench.write_rows([dict(base, wall_s=9.0, runs=1)], out)
+    row = json.loads(out.read_text())[0]
+    # 5-run median dominates the 1-run outlier.
+    assert row["wall_s"] == pytest.approx(1.0)
+    assert row["runs"] == 6
+    # A changed candidate count means a changed workload: stats restart.
+    bench.write_rows([dict(base, wall_s=2.0, runs=2, candidates=77)], out)
+    row = json.loads(out.read_text())[0]
+    assert row["runs"] == 2 and row["candidates"] == 77
+    assert row["wall_s"] == pytest.approx(2.0)
+
+
+def test_write_rows_upgrades_old_schema_rows(tmp_path):
+    bench = _load_bench()
+    out = tmp_path / "BENCH_sparse.json"
+    out.write_text(json.dumps([
+        {"kernel": "knn_csr", "dataset": "d", "wall_s": 1.5, "candidates": 7},
+        {"malformed": True},
+    ]))
+    bench.write_rows([], out)
+    recorded = json.loads(out.read_text())
+    assert len(recorded) == 1
+    assert recorded[0]["workers"] == 1 and recorded[0]["runs"] == 1
+
+
+@pytest.mark.skipif(
+    os.environ.get("PERF_SMOKE_FULL") != "1",
+    reason="5k-scale perf assertion runs only with PERF_SMOKE_FULL=1 (CI)",
+)
+def test_every_csr_kernel_beats_legacy_at_5k():
+    bench = _load_bench()
+    rows = bench.run_benchmarks(5000, model="T1G", seed=42, repeats=3)
+    for stage in QUERY_STAGES:
+        ratio = bench.speedup(rows, stage)
+        assert ratio >= 1.0, f"{stage}: csr slower than legacy ({ratio:.2f}x)"
+    # Index build: both paths are bounded by the same per-occurrence
+    # vocabulary-dict insertion (~5ms of ~7ms at this scale; the CSR
+    # side's array work is the rest), so the CSR win is a few percent
+    # and inside wall-clock noise.  Assert no real regression instead
+    # of flaking on a coin-flip margin.
+    build = bench.speedup(rows, "index_build")
+    assert build >= 0.85, f"index_build: csr regressed ({build:.2f}x)"
+
+
 #: Per-call budget for one incremental query against a 1000-entity
-#: catalog.  The batch ε-join answers ~1000 queries in well under a
-#: second, so a single streamed lookup taking longer than this means the
-#: serving path degenerated to a full rebuild.
-QUERY_BUDGET_S = 0.025
+#: catalog.  The vectorized serving path answers a probe in ~0.2ms; a
+#: single streamed lookup blowing a 5ms budget means it degenerated to
+#: per-candidate Python scoring (or a full rebuild).
+QUERY_BUDGET_S = 0.005
 
 
 @pytest.mark.skipif(

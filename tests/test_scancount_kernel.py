@@ -343,6 +343,200 @@ class TestVectorSimilarityParity:
         assert got.tobytes() == expected.tobytes()
 
 
+# ----------------------------------------------------------------------
+# Consumer kernels: parity on arbitrary [lo, hi) ranges.
+# ----------------------------------------------------------------------
+
+
+def _consumer_arrays(rng, num_indexed=35, num_queries=35):
+    from repro.sparse.kernels import query_tokens
+
+    indexed = random_token_sets(rng, num_indexed, 10)
+    queries = random_token_sets(rng, num_queries, 10, extra=OOV)
+    queries += [frozenset(), frozenset(OOV)]  # empty + fully-OOV
+    index = ScanCountIndex(indexed)
+    tokens = query_tokens(index.vocabulary, queries)
+    arrays = {**index.arrays(), **tokens.as_arrays()}
+    return indexed, queries, arrays
+
+
+class TestConsumerParity:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_count_consumer_matches_reference(self, seed):
+        from repro.sparse.kernels import run_consumer
+
+        rng = np.random.default_rng(seed)
+        indexed, queries, arrays = _consumer_arrays(rng)
+        for lo, hi in [(0, len(queries)), (3, 11), (0, 1), (5, 5)]:
+            counts = run_consumer(arrays, lo, hi, {"consumer": "count"})
+            expected = [
+                len(overlaps_reference(indexed, queries[position]))
+                for position in range(lo, hi)
+            ]
+            assert counts.tolist() == expected
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_materialize_consumer_matches_reference(self, seed):
+        from repro.sparse.kernels import run_consumer
+
+        rng = np.random.default_rng(10 + seed)
+        indexed, queries, arrays = _consumer_arrays(rng)
+        for lo, hi in [(0, len(queries)), (2, 9)]:
+            ptr, set_ids, counts = run_consumer(
+                arrays, lo, hi, {"consumer": "materialize"}
+            )
+            assert len(ptr) == hi - lo + 1 and ptr[0] == 0
+            for position in range(lo, hi):
+                a, b = ptr[position - lo], ptr[position - lo + 1]
+                got = dict(
+                    zip(set_ids[a:b].tolist(), counts[a:b].tolist())
+                )
+                assert got == overlaps_reference(indexed, queries[position])
+                assert np.all(np.diff(set_ids[a:b]) > 0)
+
+    @pytest.mark.parametrize("measure", ["cosine", "dice", "jaccard"])
+    @pytest.mark.parametrize("threshold", [0.05, 0.4, 0.8, 1.0])
+    def test_epsilon_consumer_matches_reference(self, measure, threshold):
+        from repro.sparse.kernels import run_consumer
+
+        rng = np.random.default_rng(hash((measure, threshold)) % 2**32)
+        indexed, queries, arrays = _consumer_arrays(rng)
+        func = similarity_function(measure)
+        for lo, hi in [(0, len(queries)), (4, 13)]:
+            query_ids, set_ids = run_consumer(
+                arrays,
+                lo,
+                hi,
+                {
+                    "consumer": "epsilon",
+                    "threshold": threshold,
+                    "measure": measure,
+                },
+            )
+            got = set(zip(query_ids.tolist(), set_ids.tolist()))
+            expected = {
+                (position, set_id)
+                for position in range(lo, hi)
+                for set_id, overlap in overlaps_reference(
+                    indexed, queries[position]
+                ).items()
+                if func(
+                    len(indexed[set_id]), len(queries[position]), overlap
+                )
+                >= threshold
+            }
+            assert got == expected
+
+    @pytest.mark.parametrize("k", [1, 2, 5])
+    def test_knn_consumer_matches_reference(self, k):
+        from repro.sparse.kernels import run_consumer
+
+        rng = np.random.default_rng(100 + k)
+        indexed, queries, arrays = _consumer_arrays(rng)
+        index = LegacyScanCountIndex(indexed)
+        func = similarity_function("cosine")
+        for lo, hi in [(0, len(queries)), (6, 15)]:
+            query_ids, set_ids = run_consumer(
+                arrays,
+                lo,
+                hi,
+                {"consumer": "knn", "k": k, "measure": "cosine"},
+            )
+            got = set(zip(query_ids.tolist(), set_ids.tolist()))
+            expected = {
+                (position, set_id)
+                for position in range(lo, hi)
+                for set_id in legacy_knn_select(
+                    index, queries[position], k, func
+                )
+            }
+            assert got == expected
+
+    def test_knn_block_boundary_invariance(self):
+        from repro.sparse.kernels import knn_kernel
+
+        rng = np.random.default_rng(41)
+        __, queries, arrays = _consumer_arrays(rng)
+        args = (
+            arrays["token_ptr"], arrays["postings"], arrays["sizes"],
+            arrays["qt_ptr"], arrays["qt_ids"], arrays["qt_sizes"],
+            0, len(queries),
+        )
+        baseline = knn_kernel(*args, k=3, measure="jaccard")
+        for block in (1, 2, 7):
+            blocked = knn_kernel(*args, k=3, measure="jaccard", block=block)
+            np.testing.assert_array_equal(baseline[0], blocked[0])
+            np.testing.assert_array_equal(baseline[1], blocked[1])
+
+    def test_unknown_consumer_rejected(self):
+        from repro.sparse.kernels import run_consumer
+
+        rng = np.random.default_rng(0)
+        __, __, arrays = _consumer_arrays(rng, 5, 5)
+        with pytest.raises(KeyError):
+            run_consumer(arrays, 0, 1, {"consumer": "nope"})
+
+
+class TestMinOverlapBounds:
+    @pytest.mark.parametrize("measure", ["cosine", "dice", "jaccard"])
+    def test_bound_never_excludes_a_qualifying_pair(self, measure):
+        from repro.sparse.kernels import min_overlap_bounds
+
+        func = similarity_function(measure)
+        sizes = np.arange(0, 25, dtype=np.int64)
+        for threshold in (0.05, 0.1, 0.33, 0.5, 0.75, 0.9, 1.0):
+            for query_size in range(0, 25):
+                bounds = min_overlap_bounds(
+                    measure, threshold, sizes, query_size
+                )
+                for a in sizes.tolist():
+                    for overlap in range(0, min(a, query_size) + 1):
+                        if func(a, query_size, overlap) >= threshold:
+                            assert overlap >= bounds[a], (
+                                measure, threshold, a, query_size, overlap
+                            )
+
+    def test_bound_is_at_least_one(self):
+        from repro.sparse.kernels import min_overlap_bounds
+
+        bounds = min_overlap_bounds(
+            "cosine", 0.01, np.arange(10, dtype=np.int64), 3
+        )
+        assert bounds.min() >= 1
+
+
+class TestRanksOfGroupedRows:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_three_key_lexsort_on_grouped_input(self, seed):
+        from repro.sparse.kernels import ranks_of_grouped_rows
+
+        rng = np.random.default_rng(seed)
+        # Grouped rows: query ids non-decreasing, set ids ascending
+        # within each query — exactly the CSR layout kernels emit.
+        query_parts, set_parts = [], []
+        for query in range(8):
+            rows = int(rng.integers(0, 12))
+            members = np.sort(
+                rng.choice(40, size=rows, replace=False)
+            ).astype(np.int64)
+            query_parts.append(np.full(rows, query, dtype=np.int64))
+            set_parts.append(members)
+        query_ids = np.concatenate(query_parts)
+        set_ids = np.concatenate(set_parts)
+        sims = rng.choice([0.2, 0.4, 0.6, 0.8, 1.0], size=len(query_ids))
+        order2, ranks2 = ranks_of_grouped_rows(query_ids, sims)
+        order3, ranks3 = distinct_similarity_ranks(query_ids, set_ids, sims)
+        np.testing.assert_array_equal(order2, order3)
+        np.testing.assert_array_equal(ranks2, ranks3)
+
+    def test_empty(self):
+        from repro.sparse.kernels import ranks_of_grouped_rows
+
+        empty = np.zeros(0, dtype=np.int64)
+        order, ranks = ranks_of_grouped_rows(empty, empty)
+        assert len(order) == 0 and len(ranks) == 0
+
+
 class TestDistinctSimilarityRanks:
     def test_against_python_reference(self):
         rng = np.random.default_rng(11)
