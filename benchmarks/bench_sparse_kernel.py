@@ -479,9 +479,15 @@ def speedup(
 # ----------------------------------------------------------------------
 
 
+#: Optional per-row metric fields (floats) that ride along with the core
+#: schema when present: the estimator bench (``bench_estimator.py``)
+#: records its q-error and pruned-fraction rows into the same file.
+OPTIONAL_METRICS = ("qerror", "pruned_frac")
+
+
 def _normalize_row(row: Dict[str, object]) -> Dict[str, object]:
     """Coerce a (possibly old-schema) row to the current field set."""
-    return {
+    normalized = {
         "kernel": str(row["kernel"]),
         "dataset": str(row["dataset"]),
         "workers": int(row.get("workers", 1)),
@@ -489,6 +495,10 @@ def _normalize_row(row: Dict[str, object]) -> Dict[str, object]:
         "candidates": int(row["candidates"]),
         "runs": int(row.get("runs", 1)),
     }
+    for metric in OPTIONAL_METRICS:
+        if row.get(metric) is not None:
+            normalized[metric] = float(row[metric])
+    return normalized
 
 
 def _row_key(row: Dict[str, object]) -> Tuple[str, str, int]:
@@ -503,7 +513,9 @@ def _combine_rows(
     ``wall_s`` becomes the run-count-weighted median of the two recorded
     medians and ``runs`` accumulates.  A candidate-count mismatch means
     the workload itself changed (different seed/data semantics), so the
-    fresh row replaces the stale aggregate outright.
+    fresh row replaces the stale aggregate outright.  Optional metric
+    fields (q-error, pruned fraction) are deterministic recomputations,
+    so the fresh row's values win.
     """
     if int(old["candidates"]) != int(new["candidates"]):
         return dict(new)

@@ -97,6 +97,24 @@ def build_parser() -> argparse.ArgumentParser:
         " environment variable, else 1); results are byte-identical"
         " for every worker count",
     )
+    parser.add_argument(
+        "--prune",
+        dest="prune",
+        action="store_true",
+        default=None,
+        help="cost-based tuning: score every grid configuration with the"
+        " cardinality estimators and skip provably dominated ones"
+        " before any filter runs (never changes the selected"
+        " configuration; default: the REPRO_TUNING_PRUNE environment"
+        " variable, else off)",
+    )
+    parser.add_argument(
+        "--no-prune",
+        dest="prune",
+        action="store_false",
+        help="disable cost-based grid pruning even if REPRO_TUNING_PRUNE"
+        " is set",
+    )
     return parser
 
 
@@ -146,6 +164,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         profile=args.profile,
         policy=policy_from_args(args),
         save_every=args.save_every,
+        prune=args.prune,
     )
     matrix.run_all()
 

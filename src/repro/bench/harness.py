@@ -121,6 +121,8 @@ class CellResult:
     feasible: bool = False
     params: Dict[str, object] = field(default_factory=dict)
     configurations_tried: int = 0
+    configurations_enumerated: int = 0
+    configurations_pruned: int = 0
     status: str = CellStatus.OK
     error: str = ""
     attempts: int = 1
@@ -143,6 +145,8 @@ class CellResult:
             feasible=result.feasible,
             params={k: _jsonable(v) for k, v in result.params.items()},
             configurations_tried=result.configurations_tried,
+            configurations_enumerated=result.configurations_enumerated,
+            configurations_pruned=result.configurations_pruned,
         )
 
     @classmethod
@@ -215,11 +219,17 @@ class ExperimentMatrix:
         policy: Optional[ExecutionPolicy] = None,
         injector: Optional[FaultInjector] = None,
         save_every: Optional[int] = None,
+        prune: Optional[bool] = None,
     ) -> None:
         self.methods = list(methods)
         self.datasets = list(datasets) if datasets is not None else bench_datasets()
         self.target_recall = target_recall
         self.profile = profile
+        #: Cost-based grid pruning switch, passed through to
+        #: :func:`repro.tuning.tune_method` (None = environment default).
+        #: Pruning never changes a cell's selected configuration, so the
+        #: cache is shared between pruned and unpruned runs.
+        self.prune = prune
         self.policy = policy if policy is not None else ExecutionPolicy()
         self.injector = (
             injector if injector is not None else FaultInjector.from_env()
@@ -330,6 +340,7 @@ class ExperimentMatrix:
                 target_recall=self.target_recall,
                 profile=self.profile,
                 cache=self._embedding_cache(key.dataset),
+                prune=self.prune,
             )
         return CellResult.from_tuned(key, tuned)
 

@@ -135,6 +135,33 @@ class ReportBuilder:
                     agreements += 1
         return agreements, comparisons
 
+    def pruning_summary(
+        self,
+    ) -> List[Tuple[str, int, int, int]]:
+        """Cost-based tuning effect per cell.
+
+        Returns ``(cell label, enumerated, pruned, executed)`` for every
+        completed cell whose tuner consulted the cardinality estimators
+        (``configurations_enumerated > 0``); cells from a run without
+        ``--prune`` report zero enumerated and are omitted.  ``executed``
+        is ``enumerated - pruned``: the grid points whose filter actually
+        ran (the finer-grained per-filter count stays in
+        ``configurations_tried``).
+        """
+        rows = []
+        for dataset, setting, label in self._settings():
+            for method in _ALL_TUNED:
+                cell = self.matrix.get(method, dataset, setting)
+                if cell is None or cell.configurations_enumerated <= 0:
+                    continue
+                enumerated = cell.configurations_enumerated
+                pruned = cell.configurations_pruned
+                rows.append(
+                    (f"{method} @ {label}", enumerated, pruned,
+                     enumerated - pruned)
+                )
+        return rows
+
     def claim_verdicts(self) -> List[Tuple[str, bool, str]]:
         """The Section-VII conclusions, evaluated on our matrix."""
         verdicts: List[Tuple[str, bool, str]] = []
@@ -297,6 +324,31 @@ class ReportBuilder:
             f" paper's red-cell pattern in {agreements}/{comparisons}"
             f" baseline cells."
         )
+        pruning = self.pruning_summary()
+        if pruning:
+            lines.append("")
+            lines.append("### Cost-based grid pruning")
+            lines.append("")
+            lines.append(
+                "Grid configurations discarded from cardinality bounds"
+                " before any filter ran (the selected configuration is"
+                " provably unchanged):"
+            )
+            lines.append("")
+            lines.append("| cell | enumerated | pruned | executed |")
+            lines.append("|---|---|---|---|")
+            for label, enumerated, pruned_n, executed in pruning:
+                lines.append(
+                    f"| {label} | {enumerated} | {pruned_n} | {executed} |"
+                )
+            total_enumerated = sum(row[1] for row in pruning)
+            total_pruned = sum(row[2] for row in pruning)
+            lines.append(
+                f"\nOverall {total_pruned}/{total_enumerated} grid"
+                f" configurations"
+                f" ({total_pruned / total_enumerated:.0%}) were pruned"
+                f" without execution."
+            )
         failures = self.failure_summary()
         if failures:
             lines.append("")

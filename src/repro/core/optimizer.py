@@ -110,19 +110,38 @@ class GridSearchOptimizer:
         factory: Callable[..., Filter],
         dataset: ERDataset,
         attribute: Optional[str] = None,
+        should_prune: Optional[
+            Callable[[Dict[str, object], object], bool]
+        ] = None,
     ):
         """Run the grid; return the Problem-1 winner as a ``TunedResult``.
 
         ``factory(**config)`` must build a configured filter.  When no
         configuration reaches the target, the highest-PC configuration is
         returned with ``feasible=False``.
+
+        ``should_prune(config, best)`` — supplied by cost-based tuners —
+        may veto a configuration before its filter is built.  It is only
+        consulted once an incumbent exists, and to preserve the selection
+        it must return True only when the configuration provably cannot
+        *strictly* beat the incumbent under ``better()``.
         """
         from ..tuning.result import TunedResult, better
 
         best: Optional[TunedResult] = None
         tried = 0
+        enumerated = 0
+        pruned = 0
         method_name = ""
         for config in configurations:
+            enumerated += 1
+            if (
+                should_prune is not None
+                and best is not None
+                and should_prune(config, best)
+            ):
+                pruned += 1
+                continue
             filter_ = factory(**config)
             method_name = method_name or filter_.name
             evaluation = self.evaluate(filter_, dataset, attribute)
@@ -139,6 +158,8 @@ class GridSearchOptimizer:
         if best is None:
             raise ValueError("empty configuration grid")
         best.configurations_tried = tried
+        best.configurations_enumerated = enumerated
+        best.configurations_pruned = pruned
         best.runtime = self.measure_runtime(
             factory(**best.params), dataset, attribute
         )

@@ -37,8 +37,10 @@ __all__ = [
     "FilterSpec",
     "all_specs",
     "baseline_codes",
+    "build_estimator",
     "build_filter",
     "check_consistency",
+    "estimator_codes",
     "excluded_cells",
     "family_codes",
     "fine_tuned_codes",
@@ -74,7 +76,13 @@ class FilterSpec:
         parameter dict (the ``params`` of a ``TunedResult`` / matrix cell).
     tuner_factory:
         Builds the Problem-1 tuner; signature
-        ``(target_recall, profile, cache)``.  ``None`` for baselines.
+        ``(target_recall, profile, cache, prune)``.  ``None`` for
+        baselines.
+    estimator_factory:
+        Builds the method's
+        :class:`~repro.tuning.estimator.CardinalityEstimator`; signature
+        ``(mode)`` with ``mode`` one of ``"bound"`` / ``"estimate"``.
+        ``None`` for methods without a cardinality model.
     baseline_factory:
         Builds the default-parameter filter.  ``None`` for tuned methods.
     excluded_datasets:
@@ -103,6 +111,7 @@ class FilterSpec:
         Callable[[Mapping[str, object]], object]
     ] = None
     supports_workers: bool = False
+    estimator_factory: Optional[Callable[[str], object]] = None
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -157,8 +166,13 @@ class FilterSpec:
         target_recall: Optional[float] = None,
         profile: str = "",
         cache: Optional[object] = None,
+        prune: Optional[bool] = None,
     ):
-        """The method's Problem-1 tuner (tuned methods only)."""
+        """The method's Problem-1 tuner (tuned methods only).
+
+        ``prune`` enables cost-based grid pruning (None defers to the
+        ``REPRO_TUNING_PRUNE`` environment knob).
+        """
         if self.tuner_factory is None:
             raise ValueError(
                 f"{self.code} is a baseline: it is evaluated, not tuned"
@@ -167,7 +181,18 @@ class FilterSpec:
             from .optimizer import DEFAULT_RECALL_TARGET
 
             target_recall = DEFAULT_RECALL_TARGET
-        return self.tuner_factory(target_recall, profile, cache)
+        return self.tuner_factory(target_recall, profile, cache, prune)
+
+    @property
+    def supports_estimation(self) -> bool:
+        """True when the method ships a cardinality estimator."""
+        return self.estimator_factory is not None
+
+    def build_estimator(self, mode: str = "bound"):
+        """The method's cardinality estimator in one mode."""
+        if self.estimator_factory is None:
+            raise ValueError(f"{self.code} has no cardinality estimator")
+        return self.estimator_factory(mode)
 
 
 _REGISTRY: Dict[str, FilterSpec] = {}
@@ -262,9 +287,20 @@ def make_tuner(
     target_recall: Optional[float] = None,
     profile: str = "",
     cache: Optional[object] = None,
+    prune: Optional[bool] = None,
 ):
     """The Problem-1 tuner for ``code`` (tuned methods only)."""
-    return get(code).make_tuner(target_recall, profile, cache)
+    return get(code).make_tuner(target_recall, profile, cache, prune)
+
+
+def estimator_codes() -> Tuple[str, ...]:
+    """Codes of the methods with a cardinality estimator, in row order."""
+    return tuple(s.code for s in all_specs() if s.supports_estimation)
+
+
+def build_estimator(code: str, mode: str = "bound"):
+    """The cardinality estimator for ``code`` in ``mode``."""
+    return get(code).build_estimator(mode)
 
 
 def check_consistency() -> None:
@@ -319,6 +355,31 @@ def check_consistency() -> None:
                 raise AssertionError(
                     f"{spec.code}: differential smoke checked no queries"
                 )
+        if spec.supports_estimation:
+            for mode in ("bound", "estimate"):
+                estimator = spec.build_estimator(mode)
+                for attribute in (
+                    "prepare", "estimate_candidates", "pc_upper_bound"
+                ):
+                    if not hasattr(estimator, attribute):
+                        raise AssertionError(
+                            f"{spec.code}: estimator "
+                            f"{type(estimator).__name__} lacks {attribute}"
+                        )
+                if estimator.code != spec.code:
+                    raise AssertionError(
+                        f"{spec.code}: estimator reports code "
+                        f"{estimator.code!r}"
+                    )
+                description = estimator.describe()
+                if (
+                    description.get("code") != spec.code
+                    or description.get("mode") != mode
+                ):
+                    raise AssertionError(
+                        f"{spec.code}: describe() does not round-trip "
+                        f"(got {description!r})"
+                    )
         if spec.is_baseline:
             continue
         tuner = spec.make_tuner()
@@ -326,4 +387,9 @@ def check_consistency() -> None:
             raise AssertionError(
                 f"{spec.code}: tuner {type(tuner).__name__} lacks the "
                 "uniform tune/build_filter protocol"
+            )
+        if spec.supports_estimation and not hasattr(tuner, "prune"):
+            raise AssertionError(
+                f"{spec.code}: tuner {type(tuner).__name__} has an "
+                "estimator but no prune switch"
             )

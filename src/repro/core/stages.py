@@ -32,6 +32,7 @@ __all__ = [
     "PURGE",
     "FILTER",
     "CLEAN",
+    "ESTIMATE",
     "PREPROCESS",
     "INDEX",
     "QUERY",
@@ -78,6 +79,12 @@ QUERY = Stage("query", "querying + candidate selection")
 #: breakdown layer already knows.
 ADD = Stage("add", "incremental insertion of one entity")
 REMOVE = Stage("remove", "incremental removal of one entity")
+
+#: Cost-based tuning (:mod:`repro.tuning.estimator`): cardinality
+#: estimation and grid pruning decisions, fired by the tuners *before*
+#: any filter executes.  Not part of a filter schema — it is a tuning
+#: boundary like ``tune/<method>``, traced so pruning time is visible.
+ESTIMATE = Stage("estimate", "cardinality estimation + grid pruning")
 
 BLOCKING_STAGES: Tuple[Stage, ...] = (BUILD, PURGE, FILTER, CLEAN)
 NN_STAGES: Tuple[Stage, ...] = (PREPROCESS, INDEX, QUERY)

@@ -1,0 +1,52 @@
+"""Process-wide memoized tokenization shared across benchmark layers.
+
+Historically the memoized tokenizer lived in :mod:`repro.tuning.sparse`,
+which made it awkward for lower layers (the dataset-statistics module
+behind cost-based tuning) to share token sets with the tuners without an
+upward import.  It now lives here, in the text package both sides already
+depend on; :mod:`repro.tuning.sparse` re-exports it unchanged.
+
+The cache is keyed per (texts, model, cleaning): the ε-Join and kNN-Join
+tuners, the token-statistics layer (:mod:`repro.datasets.stats`) and the
+auto-configurator all walk the same (cleaning x model) grid over the same
+collections, so each corpus is tokenized exactly once per combination.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import FrozenSet, List, Sequence, Tuple
+
+from .cleaning import TextCleaner
+from .tokenizers import RepresentationModel
+
+__all__ = ["tokenize_collection", "clear_tokenize_cache"]
+
+
+@lru_cache(maxsize=128)
+def _tokenize_cached(
+    texts: Tuple[str, ...], model: str, cleaning: bool
+) -> Tuple[FrozenSet[str], ...]:
+    if cleaning:
+        cleaner = TextCleaner()
+        texts = tuple(cleaner.clean(text) for text in texts)
+    representation = RepresentationModel(model)
+    return tuple(representation.tokens(text) for text in texts)
+
+
+def tokenize_collection(
+    texts: Sequence[str], model: str, cleaning: bool
+) -> List[FrozenSet[str]]:
+    """Token sets of a list of texts under one preprocessing combination.
+
+    Memoized per (texts, model, cleaning): every consumer that walks the
+    same (cleaning x model) grid over the same collections — sparse
+    tuners, token statistics, the auto-configurator — shares one
+    tokenization pass per corpus and combination.
+    """
+    return list(_tokenize_cached(tuple(texts), model, cleaning))
+
+
+def clear_tokenize_cache() -> None:
+    """Drop the memoized token sets (mainly for tests / memory pressure)."""
+    _tokenize_cached.cache_clear()

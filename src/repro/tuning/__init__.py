@@ -41,6 +41,7 @@ from ..datasets.generator import ERDataset
 from .baselines import BASELINES, evaluate_baseline, make_baseline
 from .blocking import WORKFLOW_NAMES, BlockingWorkflowTuner, make_builder
 from .dense import EmbeddingCache, KNNSearchTuner, LSHTuner
+from .estimator import CardinalityEstimator, prune_enabled
 from .result import TunedResult, better
 from .sparse import EpsilonJoinTuner, KNNJoinTuner, tokenize_collection
 
@@ -48,6 +49,7 @@ __all__ = [
     "BASELINES",
     "FINE_TUNED_METHODS",
     "BlockingWorkflowTuner",
+    "CardinalityEstimator",
     "EmbeddingCache",
     "EpsilonJoinTuner",
     "KNNJoinTuner",
@@ -59,6 +61,7 @@ __all__ = [
     "evaluate_baseline",
     "make_baseline",
     "make_builder",
+    "prune_enabled",
     "tokenize_collection",
     "tune_method",
 ]
@@ -75,6 +78,7 @@ def tune_method(
     target_recall: float = DEFAULT_RECALL_TARGET,
     profile: str = "",
     cache: Optional[EmbeddingCache] = None,
+    prune: Optional[bool] = None,
 ) -> TunedResult:
     """Run Problem-1 optimization for one method on one dataset/setting.
 
@@ -83,9 +87,19 @@ def tune_method(
     checks fire at least once per cell and the fault injector
     (:class:`repro.bench.resilience.FaultInjector`) can target one
     method's tuning pass by name.
+
+    ``prune=True`` enables the cost-based estimate -> prune -> execute
+    pipeline (:mod:`repro.tuning.estimator`): dominated grid
+    configurations are discarded from cardinality bounds before any
+    filter runs, without ever changing the selected configuration.
+    ``None`` defers to the ``REPRO_TUNING_PRUNE`` environment knob.
     """
     tuner = registry.make_tuner(
-        method, target_recall=target_recall, profile=profile, cache=cache
+        method,
+        target_recall=target_recall,
+        profile=profile,
+        cache=cache,
+        prune=prune,
     )
     boundary = f"tune/{method}"
     stages.fire_stage_hooks("enter", boundary)

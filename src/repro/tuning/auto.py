@@ -24,7 +24,6 @@ static DkNN defaults).
 
 from __future__ import annotations
 
-import math
 from typing import FrozenSet, List, Optional, Sequence
 
 import numpy as np
@@ -32,10 +31,10 @@ import numpy as np
 from ..core import registry
 from ..core.profile import EntityCollection
 from ..datasets.generator import ERDataset
+from ..datasets.stats import shared_stats_cache
 from ..sparse.base import batch_similarities
 from ..sparse.knn_join import KNNJoin
 from ..sparse.scancount import ScanCountIndex
-from ..text.tokenizers import word_tokens
 from .sparse import tokenize_collection
 
 __all__ = ["AutoKNNConfigurator"]
@@ -76,14 +75,23 @@ class AutoKNNConfigurator:
         characters, so q-grams; longer tokens tolerate the coarser and
         cheaper whole-token model.  Multisets are used throughout, as the
         paper observes they never hurt.
+
+        The token-length statistics come from the shared
+        :class:`~repro.datasets.stats.TokenStats` cache rather than a
+        private tokenization pass; ``key_occurrences``/``key_length_sum``
+        count raw ``word_tokens`` occurrences, so the mean is
+        bit-identical to the previous inline computation.
         """
-        lengths: List[int] = []
-        for collection in (left, right):
-            for text in collection.texts(attribute):
-                lengths.extend(len(token) for token in word_tokens(text))
-        if not lengths:
+        stats = shared_stats_cache().for_texts(
+            left.texts(attribute),
+            right.texts(attribute),
+            gt_pairs=(),
+            model="T1G",
+            cleaning=False,
+        )
+        if not stats.key_occurrences:
             return "C5GM"
-        mean_length = sum(lengths) / len(lengths)
+        mean_length = stats.mean_key_length
         if mean_length >= 8.0:
             return "T1GM"
         if mean_length >= 6.0:

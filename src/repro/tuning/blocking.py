@@ -18,6 +18,7 @@ skipped.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -35,8 +36,10 @@ from ..blocking.metablocking import PairGraph, prune_mask
 from ..blocking.workflow import BlockingWorkflow, ComparisonPropagation, MetaBlocking
 from ..core.fastpairs import evaluate_keys, groundtruth_keys
 from ..core.optimizer import DEFAULT_RECALL_TARGET, GridSearchOptimizer
+from ..core.stages import fire_stage_hooks
 from ..datasets.generator import ERDataset
 from . import spaces
+from .estimator import BlockingEstimator, prune_enabled
 from .result import TunedResult, better
 
 __all__ = ["BlockingWorkflowTuner", "WORKFLOW_NAMES", "make_builder"]
@@ -82,6 +85,7 @@ class BlockingWorkflowTuner:
         workflow: str,
         target_recall: float = DEFAULT_RECALL_TARGET,
         profile: str = "",
+        prune: Optional[bool] = None,
     ) -> None:
         workflow = workflow.upper()
         if workflow not in WORKFLOW_NAMES:
@@ -92,6 +96,37 @@ class BlockingWorkflowTuner:
         self.builder_name = WORKFLOW_NAMES[workflow]
         self.target_recall = target_recall
         self.profile = spaces.active_profile(profile)
+        self.prune = prune_enabled(prune)
+
+    def _builder_prunable(
+        self,
+        estimator: BlockingEstimator,
+        builder_params: Dict[str, object],
+        needed: int,
+        total_duplicates: int,
+        best: Optional[TunedResult],
+    ) -> bool:
+        """Can this builder configuration's whole subtree beat ``best``?
+
+        Purging, filtering, the proactive ``b_max`` cap and comparison
+        cleaning only ever *remove* pairs from the key-sharing set, so
+        the groundtruth key coverage of the builder caps PC for every
+        downstream configuration.  A subtree whose cap cannot strictly
+        beat the incumbent under ``better()`` is skipped before any
+        block is built.
+        """
+        if best is None:
+            return False
+        fire_stage_hooks("enter", "estimate")
+        try:
+            stats = estimator.key_stats(builder_params)
+            gt_cov = stats.gt_overlapping
+            if best.feasible:
+                return needed > 0 and gt_cov < needed
+            pc_cap = gt_cov / total_duplicates if total_duplicates else 0.0
+            return pc_cap <= best.pc
+        finally:
+            fire_stage_hooks("exit", "estimate")
 
     # ------------------------------------------------------------------
     # Search.
@@ -106,8 +141,22 @@ class BlockingWorkflowTuner:
         proactive = self.builder_name in _PROACTIVE
         best: Optional[TunedResult] = None
         tried = 0
+        enumerated = 0
+        pruned = 0
+        total_duplicates = len(dataset.groundtruth)
+        needed = math.ceil(self.target_recall * total_duplicates)
+        estimator: Optional[BlockingEstimator] = None
+        if self.prune:
+            estimator = BlockingEstimator(self.workflow, mode="bound")
+            estimator.prepare(dataset, attribute)
 
         for builder_params in spaces.builder_grid(self.builder_name, self.profile):
+            enumerated += 1
+            if estimator is not None and self._builder_prunable(
+                estimator, builder_params, needed, total_duplicates, best
+            ):
+                pruned += 1
+                continue
             builder = make_builder(self.builder_name, **builder_params)
             base_blocks = builder.build(dataset.left, dataset.right, attribute)
             purging_options = (False,) if proactive else (False, True)
@@ -195,6 +244,8 @@ class BlockingWorkflowTuner:
         if best is None:
             best = TunedResult(method=self.workflow, feasible=False)
         best.configurations_tried = tried
+        best.configurations_enumerated = enumerated
+        best.configurations_pruned = pruned
         if tried:
             best.runtime = GridSearchOptimizer(
                 self.target_recall
@@ -272,13 +323,16 @@ def _register() -> None:
                 filter_factory=lambda params, code=code: (
                     BlockingWorkflowTuner(code).build_filter(params)
                 ),
-                tuner_factory=lambda recall, profile, cache, code=code: (
+                tuner_factory=lambda recall, profile, cache, prune=None, code=code: (
                     BlockingWorkflowTuner(
-                        code, target_recall=recall, profile=profile
+                        code, target_recall=recall, profile=profile, prune=prune
                     )
                 ),
                 incremental_factory=lambda params, name=WORKFLOW_NAMES[code]: (
                     _build_incremental(name, params)
+                ),
+                estimator_factory=lambda mode="bound", code=code: (
+                    BlockingEstimator(code, mode=mode)
                 ),
             )
         )

@@ -17,11 +17,13 @@ the grid search does not recompute the most expensive preprocessing.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.optimizer import DEFAULT_RECALL_TARGET, GridSearchOptimizer
+from ..core.stages import fire_stage_hooks
 from ..datasets.generator import ERDataset
 from ..dense.autoencoder import Autoencoder
 from ..dense.crosspolytope import CrossPolytopeLSH
@@ -34,6 +36,12 @@ from ..dense.minhash import MinHashLSH
 from ..dense.partitioned import PartitionedIndex
 from ..text.cleaning import TextCleaner
 from . import spaces
+from .estimator import (
+    DenseKNNEstimator,
+    DenseLSHEstimator,
+    MinHashEstimator,
+    prune_enabled,
+)
 from .result import TunedResult, better
 
 __all__ = [
@@ -107,6 +115,7 @@ class KNNSearchTuner:
         profile: str = "",
         cache: Optional[EmbeddingCache] = None,
         repetitions: int = 3,
+        prune: Optional[bool] = None,
     ) -> None:
         method = method.lower()
         if method not in ("faiss", "scann", "deepblocker"):
@@ -116,6 +125,11 @@ class KNNSearchTuner:
         self.profile = spaces.active_profile(profile)
         self.cache = cache or EmbeddingCache()
         self.repetitions = repetitions
+        # Cardinality methods have a closed-form |C| = Q * min(k, N) and
+        # already share one search pass across the whole k sweep, so the
+        # estimator cannot skip any work; the switch exists for interface
+        # uniformity and the pruning accounting.
+        self.prune = prune_enabled(prune)
 
     # ------------------------------------------------------------------
     # Rank computation per preprocessing combination.
@@ -238,6 +252,7 @@ class KNNSearchTuner:
         if best is None:
             best = TunedResult(method=self.method, feasible=False)
         best.configurations_tried = tried
+        best.configurations_enumerated = tried
         if best.params:
             best.runtime = GridSearchOptimizer(
                 self.target_recall
@@ -283,6 +298,7 @@ class LSHTuner:
         profile: str = "",
         cache: Optional[EmbeddingCache] = None,
         repetitions: int = 1,
+        prune: Optional[bool] = None,
     ) -> None:
         method = method.lower()
         if method not in ("mh-lsh", "hp-lsh", "cp-lsh"):
@@ -292,6 +308,7 @@ class LSHTuner:
         self.profile = spaces.active_profile(profile)
         self.cache = cache or EmbeddingCache()
         self.repetitions = repetitions
+        self.prune = prune_enabled(prune)
 
     def _grid(self) -> List[Dict[str, object]]:
         if self.method == "mh-lsh":
@@ -307,17 +324,51 @@ class LSHTuner:
             return HyperplaneLSH(**params, embedder=self.cache.embedder)
         return CrossPolytopeLSH(**params, embedder=self.cache.embedder)
 
+    def _minhash_prune_rule(self, dataset: ERDataset, attribute: Optional[str]):
+        """A selection-safe ``should_prune`` callback for MinHash LSH.
+
+        A banded signature collision requires a shared shingle (modulo
+        raw hash collisions), so the shingle-coverage of the groundtruth
+        caps PC for every (bands, rows) layout over that shingle space.
+        Only coverage facts are used — LSH gives no candidate floor, so
+        no PQ-domination rule applies.
+        """
+        estimator = MinHashEstimator("MH-LSH", mode="bound")
+        estimator.prepare(dataset, attribute)
+        total_duplicates = len(dataset.groundtruth)
+        needed = math.ceil(self.target_recall * total_duplicates)
+
+        def should_prune(config: Dict[str, object], best: TunedResult) -> bool:
+            fire_stage_hooks("enter", "estimate")
+            try:
+                stats = estimator.key_stats(config)
+                gt_ov = stats.gt_overlapping
+                if best.feasible:
+                    return needed > 0 and gt_ov < needed
+                pc_cap = (
+                    gt_ov / total_duplicates if total_duplicates else 0.0
+                )
+                return pc_cap <= best.pc
+            finally:
+                fire_stage_hooks("exit", "estimate")
+
+        return should_prune
+
     def tune(
         self, dataset: ERDataset, attribute: Optional[str] = None
     ) -> TunedResult:
         optimizer = GridSearchOptimizer(
             target_recall=self.target_recall, repetitions=self.repetitions
         )
+        should_prune = None
+        if self.prune and self.method == "mh-lsh":
+            should_prune = self._minhash_prune_rule(dataset, attribute)
         result = optimizer.search(
             self._grid(),
             lambda **params: self.build_filter(params),
             dataset,
             attribute,
+            should_prune=should_prune,
         )
         result.method = self.method
         return result
@@ -357,12 +408,24 @@ def _register() -> None:
                 filter_factory=lambda params, code=code.lower(): (
                     LSHTuner(code).build_filter(params)
                 ),
-                tuner_factory=lambda recall, profile, cache, code=code.lower(): (
+                tuner_factory=lambda recall, profile, cache, prune=None, code=code.lower(): (
                     LSHTuner(
                         code,
                         target_recall=recall,
                         profile=profile,
                         cache=cache,
+                        prune=prune,
+                    )
+                ),
+                estimator_factory=(
+                    (
+                        lambda mode="bound": MinHashEstimator(
+                            "MH-LSH", mode=mode
+                        )
+                    )
+                    if code == "MH-LSH"
+                    else lambda mode="bound", code=code: DenseLSHEstimator(
+                        code, mode=mode
                     )
                 ),
                 # MinHash signatures over every shingle set exhaust memory
@@ -391,13 +454,17 @@ def _register() -> None:
                 filter_factory=lambda params, internal=internal: (
                     KNNSearchTuner(internal).build_filter(params)
                 ),
-                tuner_factory=lambda recall, profile, cache, internal=internal: (
+                tuner_factory=lambda recall, profile, cache, prune=None, internal=internal: (
                     KNNSearchTuner(
                         internal,
                         target_recall=recall,
                         profile=profile,
                         cache=cache,
+                        prune=prune,
                     )
+                ),
+                estimator_factory=lambda mode="bound", code=code: (
+                    DenseKNNEstimator(code, mode=mode)
                 ),
                 # DeepBlocker trains an autoencoder per run; excluded from
                 # the largest dataset like the paper's "-" cell.

@@ -31,6 +31,12 @@ class TunedResult:
         mirroring the paper's red-marked entries.
     configurations_tried:
         Number of configurations the grid search evaluated.
+    configurations_enumerated:
+        Number of grid decision points the search enumerated (executed
+        plus pruned).  0 for tuners predating cost-based pruning.
+    configurations_pruned:
+        Decision points discarded by the cardinality estimators without
+        executing a filter (0 when pruning is disabled).
     """
 
     method: str
@@ -41,6 +47,8 @@ class TunedResult:
     runtime: float = 0.0
     feasible: bool = False
     configurations_tried: int = 0
+    configurations_enumerated: int = 0
+    configurations_pruned: int = 0
 
     def describe_params(self) -> str:
         """Short ``key=value`` rendering of the winning parameters."""

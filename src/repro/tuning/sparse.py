@@ -22,56 +22,33 @@ configurations:
 from __future__ import annotations
 
 import math
-from functools import lru_cache
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.optimizer import DEFAULT_RECALL_TARGET, GridSearchOptimizer
+from ..core.stages import fire_stage_hooks
 from ..datasets.generator import ERDataset
 from ..sparse.epsilon_join import EpsilonJoin
 from ..sparse.knn_join import KNNJoin, distinct_similarity_ranks
 from ..sparse.scancount import ScanCountIndex
 from ..sparse.similarity import vector_similarity_function
-from ..text.cleaning import TextCleaner
-from ..text.tokenizers import RepresentationModel
+
+# The memoized tokenizer moved to :mod:`repro.text.memo` so the
+# statistics layer can share it; re-exported here for back-compat.
+from ..text.memo import (  # noqa: F401  (re-exports)
+    _tokenize_cached,
+    clear_tokenize_cache,
+    tokenize_collection,
+)
 from . import spaces
+from .estimator import SparseJoinEstimator, prune_enabled, snap_down
 from .result import TunedResult, better
 
 __all__ = ["EpsilonJoinTuner", "KNNJoinTuner", "tokenize_collection"]
 
-
-@lru_cache(maxsize=128)
-def _tokenize_cached(
-    texts: Tuple[str, ...], model: str, cleaning: bool
-) -> Tuple[FrozenSet[str], ...]:
-    if cleaning:
-        cleaner = TextCleaner()
-        texts = tuple(cleaner.clean(text) for text in texts)
-    representation = RepresentationModel(model)
-    return tuple(representation.tokens(text) for text in texts)
-
-
-def tokenize_collection(
-    texts: Sequence[str], model: str, cleaning: bool
-) -> List[FrozenSet[str]]:
-    """Token sets of a list of texts under one preprocessing combination.
-
-    Memoized per (texts, model, cleaning): the ε-Join and kNN-Join tuners
-    walk the same (cleaning x model) grid over the same collections, so
-    each corpus is tokenized once instead of once per tuner per measure.
-    """
-    return list(_tokenize_cached(tuple(texts), model, cleaning))
-
-
-def clear_tokenize_cache() -> None:
-    """Drop the memoized token sets (mainly for tests / memory pressure)."""
-    _tokenize_cached.cache_clear()
-
-
-def _snap_down(threshold: float, step: float = 0.01) -> float:
-    """Snap a threshold down to the paper's grid (guarantees PC >= τ)."""
-    return max(0.01, math.floor(threshold / step) * step)
+#: Back-compat alias — the snapping rule is shared with the estimator.
+_snap_down = snap_down
 
 
 class _OverlapMatrix:
@@ -163,10 +140,63 @@ class EpsilonJoinTuner:
         target_recall: float = DEFAULT_RECALL_TARGET,
         profile: str = "",
         workers: Optional[int] = None,
+        prune: Optional[bool] = None,
     ) -> None:
         self.target_recall = target_recall
         self.profile = spaces.active_profile(profile)
         self.workers = workers
+        self.prune = prune_enabled(prune)
+
+    def _plan_measures(
+        self,
+        estimator: SparseJoinEstimator,
+        model: str,
+        cleaning: bool,
+        measures: Sequence[str],
+        needed: int,
+        best: Optional[TunedResult],
+    ) -> Tuple[List[str], int]:
+        """Estimator pass over one (cleaning, model) combination.
+
+        Returns the measures worth executing plus the pruned count.  Two
+        provably selection-safe rules:
+
+        * an *infeasible* combination (fewer than ``needed`` duplicates
+          share a key, so no threshold reaches the PC target) is exactly
+          the combination the unpruned tuner silently skips — pruning it
+          merely skips the overlap pass that would discover the same;
+        * when the incumbent is feasible, the MCV candidate floor caps
+          this combination's PQ at found / floor; when that cap cannot
+          *strictly* beat the incumbent's PQ, ``better()`` would keep the
+          incumbent anyway.
+        """
+        surviving: List[str] = []
+        pruned = 0
+        fire_stage_hooks("enter", "estimate")
+        try:
+            for measure in measures:
+                threshold = estimator.feasible_threshold(
+                    model, cleaning, measure, needed
+                )
+                if threshold is None:
+                    pruned += 1
+                    continue
+                if best is not None and best.feasible:
+                    floor = estimator.candidate_floor(
+                        model, cleaning, measure, threshold
+                    )
+                    if floor > 0:
+                        dup_sims = estimator.duplicate_similarities(
+                            model, cleaning, measure
+                        )
+                        found = int(np.count_nonzero(dup_sims >= threshold))
+                        if found / floor <= best.pq:
+                            pruned += 1
+                            continue
+                surviving.append(measure)
+        finally:
+            fire_stage_hooks("exit", "estimate")
+        return surviving, pruned
 
     def tune(
         self, dataset: ERDataset, attribute: Optional[str] = None
@@ -175,17 +205,33 @@ class EpsilonJoinTuner:
         needed = math.ceil(self.target_recall * len(duplicates))
         best: Optional[TunedResult] = None
         tried = 0
+        enumerated = 0
+        pruned = 0
         measures = spaces.similarity_measures(self.profile)
         left_texts = dataset.left.texts(attribute)
         right_texts = dataset.right.texts(attribute)
+        estimator: Optional[SparseJoinEstimator] = None
+        if self.prune:
+            estimator = SparseJoinEstimator("EJ", mode="bound")
+            estimator.prepare(dataset, attribute)
         for cleaning in (False, True):
             for model in spaces.representation_models(self.profile):
+                enumerated += len(measures)
+                if estimator is not None:
+                    surviving, newly_pruned = self._plan_measures(
+                        estimator, model, cleaning, measures, needed, best
+                    )
+                    pruned += newly_pruned
+                    if not surviving:
+                        continue  # skip the overlap pass entirely
+                else:
+                    surviving = list(measures)
                 left_sets = tokenize_collection(left_texts, model, cleaning)
                 right_sets = tokenize_collection(right_texts, model, cleaning)
                 matrix = _OverlapMatrix(
                     left_sets, right_sets, duplicates, workers=self.workers
                 )
-                for measure in measures:
+                for measure in surviving:
                     tried += 1
                     # Feasible threshold: the needed-th highest duplicate
                     # similarity, snapped down to the 0.01 grid.
@@ -226,6 +272,8 @@ class EpsilonJoinTuner:
         if best is None:
             best = TunedResult(method=self.method, feasible=False)
         best.configurations_tried = tried
+        best.configurations_enumerated = enumerated
+        best.configurations_pruned = pruned
         if best.params:
             best.runtime = GridSearchOptimizer(
                 self.target_recall
@@ -252,19 +300,67 @@ class KNNJoinTuner:
         target_recall: float = DEFAULT_RECALL_TARGET,
         profile: str = "",
         workers: Optional[int] = None,
+        prune: Optional[bool] = None,
     ) -> None:
         self.target_recall = target_recall
         self.profile = spaces.active_profile(profile)
         self.workers = workers
+        self.prune = prune_enabled(prune)
+
+    def _combo_prunable(
+        self,
+        estimator: SparseJoinEstimator,
+        model: str,
+        cleaning: bool,
+        reverse: bool,
+        needed: int,
+        total_duplicates: int,
+        best: Optional[TunedResult],
+    ) -> bool:
+        """Can this (cleaning, reverse, model) combination beat ``best``?
+
+        The kNN sweep's PC/PQ are capped by two measure-independent
+        bound-mode facts: duplicates found <= duplicates sharing a key
+        (``gt_ov``), and |C| at any k >= 1 is at least the number of
+        covered queries (each returns its rank-1 row).  A combination
+        whose caps cannot *strictly* beat the incumbent under
+        ``better()`` would never replace it, so skipping the whole
+        tokenize + overlap pass is selection-safe.
+        """
+        if best is None:
+            return False
+        fire_stage_hooks("enter", "estimate")
+        try:
+            stats = estimator.stats(model, cleaning)
+            gt_ov = stats.gt_overlapping
+            covered = stats.covered_queries(reverse)
+            if best.feasible:
+                if needed > 0 and gt_ov < needed:
+                    return True  # provably infeasible, incumbent feasible
+                if covered == 0:
+                    return True  # zero candidates at every k
+                return gt_ov / covered <= best.pq
+            pc_cap = gt_ov / total_duplicates if total_duplicates else 0.0
+            return pc_cap <= best.pc
+        finally:
+            fire_stage_hooks("exit", "estimate")
 
     def tune(
         self, dataset: ERDataset, attribute: Optional[str] = None
     ) -> TunedResult:
         best: Optional[TunedResult] = None
         tried = 0
+        enumerated = 0
+        pruned = 0
         k_values = spaces.knn_k_values(self.profile)
         k_max = max(k_values)
         measures = spaces.similarity_measures(self.profile)
+        total_duplicates = len(dataset.groundtruth)
+        needed = math.ceil(self.target_recall * total_duplicates)
+        estimator: Optional[SparseJoinEstimator] = None
+        if self.prune:
+            estimator = SparseJoinEstimator("kNNJ", mode="bound")
+            estimator.prepare(dataset, attribute)
         for cleaning in (False, True):
             for reverse in (False, True):
                 if reverse:
@@ -276,6 +372,18 @@ class KNNJoinTuner:
                     query_texts = dataset.right.texts(attribute)
                     gt_pairs = list(dataset.groundtruth)
                 for model in spaces.representation_models(self.profile):
+                    enumerated += len(measures)
+                    if estimator is not None and self._combo_prunable(
+                        estimator,
+                        model,
+                        cleaning,
+                        reverse,
+                        needed,
+                        total_duplicates,
+                        best,
+                    ):
+                        pruned += len(measures)
+                        continue
                     indexed_sets = tokenize_collection(
                         indexed_texts, model, cleaning
                     )
@@ -318,6 +426,8 @@ class KNNJoinTuner:
         if best is None:
             best = TunedResult(method=self.method, feasible=False)
         best.configurations_tried = tried
+        best.configurations_enumerated = enumerated
+        best.configurations_pruned = pruned
         if best.params:
             best.runtime = GridSearchOptimizer(
                 self.target_recall
@@ -420,13 +530,16 @@ def _register() -> None:
                 filter_factory=lambda params, cls=tuner_class: (
                     cls().build_filter(params)
                 ),
-                tuner_factory=lambda recall, profile, cache, cls=tuner_class: (
-                    cls(target_recall=recall, profile=profile)
+                tuner_factory=lambda recall, profile, cache, prune=None, cls=tuner_class: (
+                    cls(target_recall=recall, profile=profile, prune=prune)
                 ),
                 incremental_factory=lambda params, code=code: (
                     _build_incremental(code, params)
                 ),
                 supports_workers=True,
+                estimator_factory=lambda mode="bound", code=code: (
+                    SparseJoinEstimator(code, mode=mode)
+                ),
             )
         )
 

@@ -1,0 +1,99 @@
+"""Pruning-safety suite: cost-based pruning never changes the selection.
+
+Every method whose tuner consults the cardinality estimators is run
+twice per cell — with and without ``prune`` — and the selected
+configuration plus its metrics must be byte-identical.  Across the two
+reference cells (a clean dataset and one with a misplaced key
+attribute) the pruned share of the enumerated grid must clear 30%,
+the acceptance floor of the cost-based-tuning layer.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.datasets.stats import reset_shared_stats_cache
+from repro.tuning import tune_method
+
+#: The methods with estimator-driven pruning rules (the dense kNN /
+#: embedding-LSH tuners expose the knob but have no sound rule).
+PRUNING_METHODS = (
+    "EJ", "kNNJ", "SBW", "QBW", "EQBW", "SABW", "ESABW", "MH-LSH",
+)
+
+#: (dataset, use key attribute): d1 is clean — most combinations stay
+#: feasible and pruning is mild; d5's schema-based setting points at a
+#: low-coverage attribute, so infeasibility pruning dominates.
+CELLS = (("d1", False), ("d5", True))
+
+#: Aggregated (enumerated, pruned) counters across the parametrized
+#: cells, consumed by the module's final aggregate assertion.
+_TOTALS = {"enumerated": 0, "pruned": 0, "cells": 0}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def isolated_stats_cache(tmp_path_factory):
+    import os
+
+    previous = os.environ.get("REPRO_BENCH_CACHE")
+    os.environ["REPRO_BENCH_CACHE"] = str(
+        tmp_path_factory.mktemp("prune_parity_cache")
+    )
+    reset_shared_stats_cache()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_BENCH_CACHE", None)
+    else:
+        os.environ["REPRO_BENCH_CACHE"] = previous
+    reset_shared_stats_cache()
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    return {name: load_dataset(name) for name, __ in CELLS}
+
+
+@pytest.mark.parametrize("dataset_name,use_key", CELLS)
+@pytest.mark.parametrize("method", PRUNING_METHODS)
+def test_pruning_preserves_selection(method, dataset_name, use_key, datasets):
+    dataset = datasets[dataset_name]
+    attribute = dataset.key_attribute if use_key else None
+
+    plain = tune_method(method, dataset, attribute, prune=False)
+    pruned = tune_method(method, dataset, attribute, prune=True)
+
+    assert pruned.params == plain.params
+    assert pruned.pc == plain.pc
+    assert pruned.pq == plain.pq
+    assert pruned.candidates == plain.candidates
+    assert pruned.feasible == plain.feasible
+
+    # The unpruned pass must not discard anything, and the pruned pass
+    # must report the same grid size it was asked to cover.
+    assert plain.configurations_pruned == 0
+    assert pruned.configurations_enumerated == (
+        plain.configurations_enumerated
+    )
+    assert 0 <= pruned.configurations_pruned <= (
+        pruned.configurations_enumerated
+    )
+
+    _TOTALS["enumerated"] += pruned.configurations_enumerated
+    _TOTALS["pruned"] += pruned.configurations_pruned
+    _TOTALS["cells"] += 1
+
+
+def test_aggregate_pruned_fraction_clears_floor():
+    expected_cells = len(PRUNING_METHODS) * len(CELLS)
+    if _TOTALS["cells"] < expected_cells:
+        pytest.skip(
+            "aggregate needs the full parametrized run"
+            f" ({_TOTALS['cells']}/{expected_cells} cells seen)"
+        )
+    assert _TOTALS["enumerated"] > 0
+    fraction = _TOTALS["pruned"] / _TOTALS["enumerated"]
+    assert fraction >= 0.30, (
+        f"only {fraction:.1%} of {_TOTALS['enumerated']} grid"
+        " configurations were pruned (floor: 30%)"
+    )
