@@ -35,6 +35,12 @@ _ALL_TUNED = sum(_FAMILIES.values(), ())
 _SYNTACTIC = _FAMILIES["blocking"] + _FAMILIES["sparse"]
 _SEMANTIC = tuple(m for m in _FAMILIES["dense"] if m != "MH-LSH")
 
+#: The unsupervised blocking workflows the learned family (SMB) is
+#: measured against — its own row is excluded from its yardstick.
+_UNSUPERVISED_BLOCKING = tuple(
+    m for m in _FAMILIES["blocking"] if m != "SMB"
+)
+
 
 class ReportBuilder:
     """Renders the paper-vs-measured analysis from a populated matrix."""
@@ -160,6 +166,49 @@ class ReportBuilder:
                     (f"{method} @ {label}", enumerated, pruned,
                      enumerated - pruned)
                 )
+        return rows
+
+    def learned_summary(
+        self,
+    ) -> List[Tuple[str, float, float, str, float, float, bool]]:
+        """Per setting: SMB vs the best unsupervised blocking workflow.
+
+        Returns ``(label, smb_pc, smb_pq, best_code, best_pc, best_pq,
+        verdict)`` for every setting where both sides completed.  The
+        yardstick is the unsupervised workflow Problem 1 itself would
+        pick (best PQ among feasible cells, best PC otherwise); the
+        verdict is True when SMB matches or beats its PC at *comparable
+        PQ* — defined as SMB retaining at least half the yardstick's PQ,
+        so a recall win bought with an order-of-magnitude PQ collapse
+        does not count.
+        """
+        rows = []
+        for dataset, setting, label in self._settings():
+            smb = self.matrix.get("SMB", dataset, setting)
+            if smb is None:
+                continue
+            best = None
+            for method in _UNSUPERVISED_BLOCKING:
+                cell = self.matrix.get(method, dataset, setting)
+                if cell is None:
+                    continue
+                if best is None:
+                    best = cell
+                elif cell.feasible != best.feasible:
+                    best = cell if cell.feasible else best
+                elif cell.feasible:
+                    best = cell if cell.pq > best.pq else best
+                else:
+                    best = cell if cell.pc > best.pc else best
+            if best is None:
+                continue
+            verdict = (
+                smb.pc >= best.pc - 1e-9 and smb.pq >= 0.5 * best.pq
+            )
+            rows.append(
+                (label, smb.pc, smb.pq, best.method, best.pc, best.pq,
+                 verdict)
+            )
         return rows
 
     def claim_verdicts(self) -> List[Tuple[str, bool, str]]:
@@ -324,6 +373,35 @@ class ReportBuilder:
             f" paper's red-cell pattern in {agreements}/{comparisons}"
             f" baseline cells."
         )
+        learned = self.learned_summary()
+        if learned:
+            lines.append("")
+            lines.append("### Learned meta-blocking (SMB)")
+            lines.append("")
+            lines.append(
+                "The supervised family against the best unsupervised"
+                " blocking workflow of each setting (the Problem-1 pick);"
+                " 'holds' = SMB matches or beats its PC while retaining"
+                " at least half its PQ:"
+            )
+            lines.append("")
+            lines.append(
+                "| setting | SMB PC | SMB PQ | best unsupervised |"
+                " PC | PQ | holds |"
+            )
+            lines.append("|---|---|---|---|---|---|---|")
+            holds = 0
+            for label, smb_pc, smb_pq, code, pc, pq, verdict in learned:
+                holds += verdict
+                lines.append(
+                    f"| {label} | {smb_pc:.3f} | {smb_pq:.4f} | {code} |"
+                    f" {pc:.3f} | {pq:.4f} |"
+                    f" {'yes' if verdict else 'NO'} |"
+                )
+            lines.append(
+                f"\nSMB matches or beats the best unsupervised workflow's"
+                f" PC at comparable PQ in {holds}/{len(learned)} settings."
+            )
         pruning = self.pruning_summary()
         if pruning:
             lines.append("")

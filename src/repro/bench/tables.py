@@ -161,7 +161,13 @@ def _config_table(
             else:
                 row.append(
                     ";".join(
-                        f"{k}={v}" for k, v in sorted(cell.params.items())
+                        # Elide blob-valued params (e.g. SMB's serialized
+                        # model) — the table reports the configuration,
+                        # the cache keeps the payload.
+                        f"{k}=<{len(str(v))}B>"
+                        if len(str(v)) > 40
+                        else f"{k}={v}"
+                        for k, v in sorted(cell.params.items())
                     )
                     or "default"
                 )

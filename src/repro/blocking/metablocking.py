@@ -109,6 +109,12 @@ class PairGraph:
         right_chunks = []
         arc_chunks = []
         for block in blocks:
+            if not block.comparisons:
+                # A block with an empty side induces no pairs; the ARCS
+                # weight 1/comparisons below would divide by zero.  The
+                # standard cleaning steps never emit such blocks, but
+                # directly constructed collections can.
+                continue
             left = np.asarray(block.left, dtype=np.int64)
             right = np.asarray(block.right, dtype=np.int64)
             left_chunks.append(np.repeat(left, len(right)))
@@ -164,8 +170,13 @@ class PairGraph:
             return self.common.copy()
         if scheme == "ECBS":
             total = max(1, self.n_blocks)
-            discount_left = np.log1p(total / self._left_blocks[self.lefts])
-            discount_right = np.log1p(total / self._right_blocks[self.rights])
+            # Every graph entity sits in >= 1 block, but collections
+            # built outside the cleaning pipeline may disagree with the
+            # per-entity index — clamp so the discount stays finite.
+            left_counts = np.maximum(self._left_blocks[self.lefts], 1)
+            right_counts = np.maximum(self._right_blocks[self.rights], 1)
+            discount_left = np.log1p(total / left_counts)
+            discount_right = np.log1p(total / right_counts)
             return self.common * discount_left * discount_right
         if scheme == "JS":
             union = (
@@ -177,10 +188,10 @@ class PairGraph:
         if scheme == "EJS":
             total_edges = max(1, len(self))
             js = self.weights("JS")
-            discount_left = np.log1p(total_edges / self._left_degree[self.lefts])
-            discount_right = np.log1p(
-                total_edges / self._right_degree[self.rights]
-            )
+            left_degree = np.maximum(self._left_degree[self.lefts], 1)
+            right_degree = np.maximum(self._right_degree[self.rights], 1)
+            discount_left = np.log1p(total_edges / left_degree)
+            discount_right = np.log1p(total_edges / right_degree)
             return js * discount_left * discount_right
         if scheme == "X2":
             return self._chi_squared()

@@ -23,6 +23,21 @@ __all__ = ["GridSearchOptimizer", "DEFAULT_RECALL_TARGET"]
 DEFAULT_RECALL_TARGET = 0.9
 
 
+def _quality_ties(current, challenger) -> bool:
+    """True when ``better()`` considers the two results exactly equal.
+
+    ``better()`` keeps the incumbent on ties; under cost-based
+    reordering that incumbent may carry a *higher* original index than
+    the challenger, so :meth:`GridSearchOptimizer.search` needs the tie
+    detected explicitly to restore the enumeration-order winner.
+    """
+    if current.feasible != challenger.feasible:
+        return False
+    if current.feasible:
+        return current.pq == challenger.pq
+    return current.pc == challenger.pc
+
+
 class GridSearchOptimizer:
     """Exhaustive grid search under a recall constraint.
 
@@ -113,6 +128,7 @@ class GridSearchOptimizer:
         should_prune: Optional[
             Callable[[Dict[str, object], object], bool]
         ] = None,
+        cost: Optional[Callable[[Dict[str, object]], float]] = None,
     ):
         """Run the grid; return the Problem-1 winner as a ``TunedResult``.
 
@@ -125,19 +141,34 @@ class GridSearchOptimizer:
         consulted once an incumbent exists, and to preserve the selection
         it must return True only when the configuration provably cannot
         *strictly* beat the incumbent under ``better()``.
+
+        ``cost(config)`` — an estimated execution cost — reorders the
+        grid cheap-first, so incumbents arrive early and ``should_prune``
+        has something to compare against from the start.  The selected
+        winner is guaranteed identical to the enumeration-order run:
+        ``better()``'s quality ordering is total, ties keep the config
+        with the lower *original* index (the enumeration-order semantics
+        of "first maximal wins"), and a config enumerated before the
+        incumbent is never pruned — only evaluated — so an
+        original-order tie can still flip the winner to it.
         """
         from ..tuning.result import TunedResult, better
 
+        ordered = list(enumerate(configurations))
+        if cost is not None:
+            ordered.sort(key=lambda pair: (cost(pair[1]), pair[0]))
         best: Optional[TunedResult] = None
+        best_index = -1
         tried = 0
         enumerated = 0
         pruned = 0
         method_name = ""
-        for config in configurations:
+        for index, config in ordered:
             enumerated += 1
             if (
                 should_prune is not None
                 and best is not None
+                and index > best_index
                 and should_prune(config, best)
             ):
                 pruned += 1
@@ -154,7 +185,11 @@ class GridSearchOptimizer:
                 candidates=evaluation.candidates,
                 feasible=evaluation.pc >= self.target_recall,
             )
-            best = better(best, challenger)
+            if best is None or better(best, challenger) is challenger or (
+                _quality_ties(best, challenger) and index < best_index
+            ):
+                best = challenger
+                best_index = index
         if best is None:
             raise ValueError("empty configuration grid")
         best.configurations_tried = tried

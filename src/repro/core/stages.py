@@ -38,9 +38,14 @@ __all__ = [
     "QUERY",
     "ADD",
     "REMOVE",
+    "FEATURES",
+    "TRAIN",
+    "SCORE",
+    "PRUNE",
     "BLOCKING_STAGES",
     "NN_STAGES",
     "INCREMENTAL_STAGES",
+    "LEARNED_STAGES",
     "add_stage_hook",
     "remove_stage_hook",
     "fire_stage_hooks",
@@ -86,9 +91,20 @@ REMOVE = Stage("remove", "incremental removal of one entity")
 #: boundary like ``tune/<method>``, traced so pruning time is visible.
 ESTIMATE = Stage("estimate", "cardinality estimation + grid pruning")
 
+#: Learned meta-blocking (:mod:`repro.learned`): the supervised
+#: edge-pruning family decomposes into block building (shared with the
+#: blocking schema), per-edge feature extraction, model training on a
+#: labeled edge sample, calibrated scoring of every edge, and pruning.
+#: A pre-trained filter (inference-only) never enters ``TRAIN``.
+FEATURES = Stage("features", "per-edge feature matrix extraction")
+TRAIN = Stage("train", "supervised model training on a labeled edge sample")
+SCORE = Stage("score", "edge scoring with the trained model")
+PRUNE = Stage("prune", "probability-threshold / top-k edge pruning")
+
 BLOCKING_STAGES: Tuple[Stage, ...] = (BUILD, PURGE, FILTER, CLEAN)
 NN_STAGES: Tuple[Stage, ...] = (PREPROCESS, INDEX, QUERY)
 INCREMENTAL_STAGES: Tuple[Stage, ...] = (ADD, REMOVE, QUERY)
+LEARNED_STAGES: Tuple[Stage, ...] = (BUILD, FEATURES, TRAIN, SCORE, PRUNE)
 
 StageLike = Union[Stage, str]
 

@@ -1,0 +1,59 @@
+"""Per-edge feature extraction from the blocking graph.
+
+Every distinct pair of the :class:`~repro.blocking.metablocking.PairGraph`
+becomes one feature row.  The first six columns are exactly the paper's
+weighting schemes (so a learned model strictly generalizes the
+unsupervised family: a model with a single unit weight recovers any one
+scheme); the remaining columns expose the block-cardinality statistics
+the schemes themselves are built from, letting the model re-weight the
+raw evidence instead of only the hand-crafted combinations.
+
+The whole matrix is assembled in one vectorized pass: the per-entity
+statistics are gathered once and shared across columns, and no
+Python-level per-edge loop runs anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..blocking.metablocking import WEIGHTING_SCHEMES, PairGraph
+
+__all__ = ["FEATURE_NAMES", "edge_features"]
+
+#: Column names of the feature matrix, in order: the six weighting
+#: schemes of Section IV-B, then the block-cardinality features.
+FEATURE_NAMES: Tuple[str, ...] = WEIGHTING_SCHEMES + (
+    "log_left_blocks",
+    "log_right_blocks",
+    "log_left_degree",
+    "log_right_degree",
+)
+
+
+def edge_features(graph: PairGraph) -> np.ndarray:
+    """The ``(n_edges, len(FEATURE_NAMES))`` float64 feature matrix.
+
+    Column ``i`` of the first six equals ``graph.weights(scheme)`` for
+    ``scheme = FEATURE_NAMES[i]`` bit-for-bit; the cardinality columns
+    are ``log1p`` of the per-side block counts (|B_i|) and node degrees
+    (|v_i|) gathered per edge.
+    """
+    n = len(graph)
+    matrix = np.zeros((n, len(FEATURE_NAMES)), dtype=np.float64)
+    if not n:
+        return matrix
+    for column, scheme in enumerate(WEIGHTING_SCHEMES):
+        matrix[:, column] = graph.weights(scheme)
+    base = len(WEIGHTING_SCHEMES)
+    left_blocks = graph._left_blocks[graph.lefts].astype(np.float64)
+    right_blocks = graph._right_blocks[graph.rights].astype(np.float64)
+    left_degree = graph._left_degree[graph.lefts].astype(np.float64)
+    right_degree = graph._right_degree[graph.rights].astype(np.float64)
+    matrix[:, base + 0] = np.log1p(left_blocks)
+    matrix[:, base + 1] = np.log1p(right_blocks)
+    matrix[:, base + 2] = np.log1p(left_degree)
+    matrix[:, base + 3] = np.log1p(right_degree)
+    return matrix

@@ -1,0 +1,294 @@
+"""Dependency-free supervised models for edge classification.
+
+Two trainers, both pure python + NumPy:
+
+* :class:`LogisticModel` — L2-regularized logistic regression fitted by
+  full-batch gradient descent with early stopping on the training loss.
+  Features are standardized internally (the scaler is part of the
+  model), so the heterogeneous scales of the weighting schemes (CBS
+  counts vs JS fractions) do not dominate the gradient.
+* :class:`StumpEnsemble` — gradient boosting of depth-1 decision trees
+  (stumps) under the logistic loss, with Newton-step leaf values and
+  candidate thresholds drawn from per-feature quantiles.  Captures the
+  non-linear interactions a linear model cannot (e.g. "high CBS only
+  matters when the node degree is low").
+
+Determinism contract: given identical training data and hyperparameters,
+``fit`` is a fixed sequence of NumPy operations — no data-dependent
+randomness — so two fits produce byte-identical parameters.  The ``seed``
+argument is accepted for interface uniformity (sampling happens upstream
+in :mod:`repro.learned.sampling`).  Both models serialize to plain JSON
+(:func:`serialize_model` / :func:`deserialize_model`) so trained weights
+travel inside a tuned parameter dict and a filter rebuilt from cached
+parameters scores edges bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MODEL_KINDS",
+    "LogisticModel",
+    "StumpEnsemble",
+    "deserialize_model",
+    "serialize_model",
+    "train_model",
+]
+
+#: Canonical model-kind names, as used in tuned parameter dicts.
+MODEL_KINDS: Tuple[str, ...] = ("logistic", "stumps")
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Split by sign to stay overflow-free on both tails.
+    out = np.empty_like(z, dtype=np.float64)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exponent = np.exp(z[~positive])
+    out[~positive] = exponent / (1.0 + exponent)
+    return out
+
+
+class LogisticModel:
+    """L2 logistic regression with internal standardization."""
+
+    kind = "logistic"
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        bias: float,
+        means: np.ndarray,
+        stds: np.ndarray,
+    ) -> None:
+        self.weights = np.asarray(weights, dtype=np.float64)
+        self.bias = float(bias)
+        self.means = np.asarray(means, dtype=np.float64)
+        self.stds = np.asarray(stds, dtype=np.float64)
+
+    @classmethod
+    def fit(
+        cls,
+        features: np.ndarray,
+        labels: np.ndarray,
+        l2: float = 1e-3,
+        learning_rate: float = 0.5,
+        max_iterations: int = 500,
+        tolerance: float = 1e-7,
+        seed: int = 0,
+    ) -> "LogisticModel":
+        """Full-batch gradient descent; stops early when the regularized
+        loss improves by less than ``tolerance`` between iterations."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        n, d = features.shape
+        if not n:
+            # Degenerate (empty) sample: the zero model scores every
+            # edge 0.5, which a threshold sweep handles gracefully.
+            return cls(np.zeros(d), 0.0, np.zeros(d), np.ones(d))
+        means = features.mean(axis=0)
+        stds = features.std(axis=0)
+        stds = np.where(stds > 0, stds, 1.0)
+        standardized = (features - means) / stds
+        weights = np.zeros(d, dtype=np.float64)
+        bias = 0.0
+        previous = np.inf
+        for __ in range(max_iterations):
+            probabilities = _sigmoid(standardized @ weights + bias)
+            clipped = np.clip(probabilities, 1e-12, 1.0 - 1e-12)
+            loss = float(
+                -np.mean(
+                    labels * np.log(clipped)
+                    + (1.0 - labels) * np.log(1.0 - clipped)
+                )
+                + 0.5 * l2 * float(weights @ weights)
+            )
+            residual = probabilities - labels
+            gradient = standardized.T @ residual / max(1, n) + l2 * weights
+            weights = weights - learning_rate * gradient
+            bias = bias - learning_rate * float(residual.mean())
+            if previous - loss < tolerance:
+                break
+            previous = loss
+        return cls(weights, bias, means, stds)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(match) per row of ``features``."""
+        standardized = (np.asarray(features, dtype=np.float64) - self.means)
+        standardized = standardized / self.stds
+        return _sigmoid(standardized @ self.weights + self.bias)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "weights": self.weights.tolist(),
+            "bias": self.bias,
+            "means": self.means.tolist(),
+            "stds": self.stds.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "LogisticModel":
+        return cls(
+            np.asarray(payload["weights"], dtype=np.float64),
+            float(payload["bias"]),
+            np.asarray(payload["means"], dtype=np.float64),
+            np.asarray(payload["stds"], dtype=np.float64),
+        )
+
+
+class StumpEnsemble:
+    """Gradient-boosted depth-1 trees under the logistic loss.
+
+    Each stump is ``(feature, threshold, below_value, above_value)``:
+    rows with ``feature <= threshold`` receive ``below_value``.  Leaf
+    values are Newton steps (residual sum over hessian sum, damped by
+    ``l2``); candidate thresholds are per-feature quantiles, so the fit
+    is scale-invariant and needs no standardization.
+    """
+
+    kind = "stumps"
+
+    def __init__(
+        self,
+        base_score: float,
+        stumps: List[Tuple[int, float, float, float]],
+        learning_rate: float,
+    ) -> None:
+        self.base_score = float(base_score)
+        self.stumps = [
+            (int(f), float(t), float(lo), float(hi)) for f, t, lo, hi in stumps
+        ]
+        self.learning_rate = float(learning_rate)
+
+    @classmethod
+    def fit(
+        cls,
+        features: np.ndarray,
+        labels: np.ndarray,
+        rounds: int = 40,
+        learning_rate: float = 0.3,
+        quantiles: int = 8,
+        l2: float = 1.0,
+        seed: int = 0,
+    ) -> "StumpEnsemble":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64)
+        n, d = features.shape
+        positive_rate = float(labels.mean()) if n else 0.5
+        positive_rate = min(max(positive_rate, 1e-6), 1.0 - 1e-6)
+        base = float(np.log(positive_rate / (1.0 - positive_rate)))
+        scores = np.full(n, base, dtype=np.float64)
+        # Candidate thresholds per feature: interior quantiles of the
+        # training sample, deduplicated.  Computed once.
+        grid: List[np.ndarray] = []
+        probes = np.linspace(0.0, 1.0, quantiles + 2)[1:-1]
+        for j in range(d):
+            column = features[:, j]
+            candidates = np.unique(np.quantile(column, probes)) if n else (
+                np.zeros(0)
+            )
+            # A threshold at the maximum puts every row below it — a
+            # constant split with zero gain; harmless to keep out.
+            grid.append(candidates[candidates < column.max()] if n else candidates)
+        stumps: List[Tuple[int, float, float, float]] = []
+        for __ in range(rounds):
+            probabilities = _sigmoid(scores)
+            residual = labels - probabilities
+            hessian = probabilities * (1.0 - probabilities)
+            best: Optional[Tuple[float, int, float, float, float]] = None
+            for j in range(d):
+                column = features[:, j]
+                for threshold in grid[j]:
+                    below = column <= threshold
+                    res_below = float(residual[below].sum())
+                    res_above = float(residual.sum()) - res_below
+                    hess_below = float(hessian[below].sum())
+                    hess_above = float(hessian.sum()) - hess_below
+                    value_below = res_below / (hess_below + l2)
+                    value_above = res_above / (hess_above + l2)
+                    gain = (
+                        res_below * res_below / (hess_below + l2)
+                        + res_above * res_above / (hess_above + l2)
+                    )
+                    # Strict improvement with a (feature, threshold)
+                    # tie-break keeps the choice deterministic under any
+                    # enumeration order.
+                    if best is None or gain > best[0]:
+                        best = (gain, j, float(threshold), value_below,
+                                value_above)
+            if best is None or best[0] <= 1e-12:
+                break
+            __, j, threshold, value_below, value_above = best
+            stumps.append((j, threshold, value_below, value_above))
+            column = features[:, j]
+            step = np.where(column <= threshold, value_below, value_above)
+            scores = scores + learning_rate * step
+        return cls(base, stumps, learning_rate)
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        scores = np.full(len(features), self.base_score, dtype=np.float64)
+        for feature, threshold, value_below, value_above in self.stumps:
+            column = features[:, feature]
+            scores += self.learning_rate * np.where(
+                column <= threshold, value_below, value_above
+            )
+        return scores
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """P(match) per row of ``features``."""
+        return _sigmoid(self.decision_scores(features))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "base_score": self.base_score,
+            "stumps": [list(stump) for stump in self.stumps],
+            "learning_rate": self.learning_rate,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "StumpEnsemble":
+        return cls(
+            float(payload["base_score"]),
+            [tuple(stump) for stump in payload["stumps"]],
+            float(payload["learning_rate"]),
+        )
+
+
+def train_model(kind: str, features: np.ndarray, labels: np.ndarray,
+                seed: int = 0):
+    """Fit one model by canonical kind name."""
+    if kind == "logistic":
+        return LogisticModel.fit(features, labels, seed=seed)
+    if kind == "stumps":
+        return StumpEnsemble.fit(features, labels, seed=seed)
+    raise ValueError(f"unknown model kind {kind!r}; choose from {MODEL_KINDS}")
+
+
+def serialize_model(model) -> str:
+    """A compact JSON string round-trippable by :func:`deserialize_model`.
+
+    Kept a *string* (not a nested dict) so trained weights survive the
+    scalar-only parameter serialization of the experiment-matrix cache.
+    """
+    return json.dumps(model.to_dict(), separators=(",", ":"))
+
+
+def deserialize_model(payload):
+    """Rebuild a trained model from ``serialize_model`` output (or dict)."""
+    if isinstance(payload, str):
+        payload = json.loads(payload)
+    if not isinstance(payload, dict):
+        raise ValueError(f"cannot deserialize model from {type(payload)}")
+    kind = payload.get("kind")
+    if kind == "logistic":
+        return LogisticModel.from_dict(payload)
+    if kind == "stumps":
+        return StumpEnsemble.from_dict(payload)
+    raise ValueError(f"unknown model kind {kind!r}; choose from {MODEL_KINDS}")

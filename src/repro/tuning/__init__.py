@@ -20,6 +20,7 @@ CP-LSH    Cross-Polytope LSH
 FAISS     exact kNN search (Flat index)
 SCANN     partitioned kNN search
 DB        DeepBlocker (autoencoder tuple embeddings)
+SMB       Supervised Meta-blocking (learned edge pruning)
 ========  =============================================
 
 Baselines (PBW, DBW, DkNN, DDB) are evaluated — not tuned — through
@@ -42,6 +43,7 @@ from .baselines import BASELINES, evaluate_baseline, make_baseline
 from .blocking import WORKFLOW_NAMES, BlockingWorkflowTuner, make_builder
 from .dense import EmbeddingCache, KNNSearchTuner, LSHTuner
 from .estimator import CardinalityEstimator, prune_enabled
+from .learned import SupervisedMetaBlockingTuner
 from .result import TunedResult, better
 from .sparse import EpsilonJoinTuner, KNNJoinTuner, tokenize_collection
 
@@ -55,6 +57,7 @@ __all__ = [
     "KNNJoinTuner",
     "KNNSearchTuner",
     "LSHTuner",
+    "SupervisedMetaBlockingTuner",
     "TunedResult",
     "WORKFLOW_NAMES",
     "better",

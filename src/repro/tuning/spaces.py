@@ -34,6 +34,10 @@ __all__ = [
     "crosspolytope_grid",
     "weighting_schemes",
     "pruning_algorithms",
+    "smb_models",
+    "smb_sample_sizes",
+    "smb_thresholds",
+    "smb_topk",
 ]
 
 _VALID_PROFILES = ("fast", "full")
@@ -99,6 +103,38 @@ def builder_grid(builder: str, profile: str = "") -> List[Dict[str, object]]:
             for b_max in b_maxes
         ]
     raise ValueError(f"unknown builder {builder!r}")
+
+
+# ----------------------------------------------------------------------
+# Learned meta-blocking (SMB).
+# ----------------------------------------------------------------------
+
+def smb_models(profile: str = "") -> Tuple[str, ...]:
+    """Model kinds of the learned family (both profiles try both)."""
+    from ..learned.models import MODEL_KINDS
+
+    return MODEL_KINDS
+
+
+def smb_sample_sizes(profile: str = "") -> Tuple[int, ...]:
+    """Labeled-sample budgets for supervised meta-blocking."""
+    if active_profile(profile) == "full":
+        return (200, 500, 1000, 2000, 5000)
+    return (200, 1000)
+
+
+def smb_thresholds(profile: str = "") -> List[float]:
+    """WEP-style match-probability cutoffs, swept from high to low."""
+    if active_profile(profile) == "full":
+        return [round(t, 2) for t in np.arange(0.95, 0.009, -0.01)]
+    return [round(t, 2) for t in np.arange(0.95, 0.009, -0.05)]
+
+
+def smb_topk(profile: str = "") -> Tuple[int, ...]:
+    """CEP-style per-entity retention counts, ascending."""
+    if active_profile(profile) == "full":
+        return tuple(range(1, 21))
+    return (1, 2, 3, 5, 10)
 
 
 # ----------------------------------------------------------------------

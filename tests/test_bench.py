@@ -32,8 +32,10 @@ from repro.sparse.knn_join import KNNJoin
 
 
 class TestScope:
-    def test_all_17_methods(self):
-        assert len(ALL_METHODS) == 17
+    def test_all_18_methods(self):
+        # The paper's 17 methods plus the learned SMB family.
+        assert len(ALL_METHODS) == 18
+        assert ALL_METHODS[-1] == "SMB"
 
     def test_excluded_cells_match_paper(self):
         assert ("MH-LSH", "d10") in EXCLUDED_CELLS

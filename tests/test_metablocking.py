@@ -165,3 +165,96 @@ class TestMetaBlocking:
 
     def test_describe(self):
         assert "ECBS" in MetaBlocking("ECBS", "WNP").describe()
+
+
+class TestDegenerateGraphs:
+    """Divide-by-zero / NaN guards on inputs the cleaning pipeline never
+    produces but direct construction can (satellite of the SMB PR)."""
+
+    def _assert_all_schemes_finite(self, graph):
+        with np.errstate(all="raise"):
+            for scheme in WEIGHTING_SCHEMES:
+                weights = graph.weights(scheme)
+                assert len(weights) == len(graph)
+                assert np.all(np.isfinite(weights)), scheme
+
+    def test_zero_comparison_block_is_skipped(self):
+        collection = BlockCollection([Block("ok", (0,), (0,))])
+        # Bypass the constructor filter: a block with an empty side.
+        collection.blocks.append(Block("lonely", (1,), ()))
+        graph = PairGraph(collection)  # must not raise ZeroDivisionError
+        assert len(graph) == 1
+        self._assert_all_schemes_finite(graph)
+
+    def test_single_pair_graph_finite_everywhere(self):
+        graph = PairGraph(BlockCollection([Block("k", (3,), (5,))]))
+        assert len(graph) == 1
+        self._assert_all_schemes_finite(graph)
+
+    def test_duplicate_free_disjoint_singletons(self):
+        # Single-entity 1x1 blocks, no entity shared across blocks: the
+        # EJS/X2 denominators all hit their minimum values.
+        graph = PairGraph(
+            BlockCollection(
+                [Block(f"k{i}", (i,), (i,)) for i in range(4)]
+            )
+        )
+        assert len(graph) == 4
+        self._assert_all_schemes_finite(graph)
+
+    def test_pair_in_every_block(self):
+        # JS union == common: the maximal-overlap corner of the formula.
+        graph = PairGraph(
+            BlockCollection(
+                [Block(f"k{i}", (0,), (0,)) for i in range(5)]
+            )
+        )
+        self._assert_all_schemes_finite(graph)
+        assert graph.weights("JS")[0] == pytest.approx(1.0)
+
+
+class TestPruneMaskEdgeCases:
+    def test_empty_graph_all_algorithms(self):
+        graph = PairGraph(BlockCollection([]))
+        for algorithm in PRUNING_ALGORITHMS:
+            mask = prune_mask(
+                graph, graph.weights("CBS"), algorithm
+            )
+            assert mask.dtype == bool and len(mask) == 0
+
+    def test_all_identical_weights_keep_everything_weight_based(self):
+        # Every weight equals the mean and every group maximum, so the
+        # weight-threshold algorithms must retain every pair.
+        graph = PairGraph(
+            BlockCollection(
+                [Block(f"k{i}", (i,), (i,)) for i in range(4)]
+            )
+        )
+        weights = graph.weights("CBS")
+        assert len(set(weights.tolist())) == 1
+        for algorithm in ("WEP", "WNP", "RWNP", "BLAST"):
+            assert np.all(prune_mask(graph, weights, algorithm)), algorithm
+
+    def test_all_identical_weights_cardinality_bounds(self):
+        graph = PairGraph(
+            BlockCollection(
+                [Block(f"k{i}", (i,), (i,)) for i in range(4)]
+            )
+        )
+        weights = graph.weights("CBS")
+        for algorithm in ("CEP", "CNP", "RCNP"):
+            mask = prune_mask(graph, weights, algorithm)
+            assert mask.dtype == bool
+            assert 0 < mask.sum() <= len(graph), algorithm
+
+    def test_single_entity_blocks_per_node_algorithms(self):
+        # One entity per side in each block: per-node groups have size
+        # one, so every per-node algorithm keeps its only member.
+        graph = PairGraph(
+            BlockCollection(
+                [Block(f"k{i}", (i,), (i,)) for i in range(3)]
+            )
+        )
+        weights = graph.weights("ARCS")
+        for algorithm in ("CNP", "RCNP", "WNP", "RWNP", "BLAST"):
+            assert np.all(prune_mask(graph, weights, algorithm)), algorithm

@@ -5,7 +5,7 @@ import pytest
 from repro.bench.harness import ALL_METHODS, EXCLUDED_CELLS
 from repro.core import registry
 from repro.core.metrics import evaluate_candidates
-from repro.core.stages import BLOCKING_STAGES, NN_STAGES, Stage
+from repro.core.stages import BLOCKING_STAGES, LEARNED_STAGES, NN_STAGES, Stage
 
 
 class TestConsistency:
@@ -22,22 +22,23 @@ class TestConsistency:
             "SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW",
             "EJ", "kNNJ", "DkNN",
             "MH-LSH", "CP-LSH", "HP-LSH", "FAISS", "SCANN", "DB", "DDB",
+            "SMB",
         )
 
     def test_partition_into_tuned_and_baselines(self):
         tuned = registry.fine_tuned_codes()
         baselines = registry.baseline_codes()
-        assert len(tuned) == 13
+        assert len(tuned) == 14
         assert baselines == ("PBW", "DBW", "DkNN", "DDB")
         assert set(tuned) | set(baselines) == set(ALL_METHODS)
         assert not set(tuned) & set(baselines)
 
     def test_family_codes(self):
         assert registry.family_codes("blocking", baselines=False) == (
-            "SBW", "QBW", "EQBW", "SABW", "ESABW"
+            "SBW", "QBW", "EQBW", "SABW", "ESABW", "SMB"
         )
         assert registry.family_codes("blocking") == (
-            "SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW"
+            "SBW", "QBW", "EQBW", "SABW", "ESABW", "PBW", "DBW", "SMB"
         )
         assert registry.family_codes("sparse", baselines=False) == (
             "EJ", "kNNJ"
@@ -56,9 +57,12 @@ class TestConsistency:
 
     def test_stage_schemas_match_families(self):
         for spec in registry.all_specs():
-            expected = (
-                BLOCKING_STAGES if spec.family == "blocking" else NN_STAGES
-            )
+            if spec.code == "SMB":
+                expected = LEARNED_STAGES
+            elif spec.family == "blocking":
+                expected = BLOCKING_STAGES
+            else:
+                expected = NN_STAGES
             assert spec.stages == expected, spec.code
             assert spec.phase_names == tuple(s.name for s in expected)
 
@@ -124,6 +128,9 @@ class TestRoundTrip:
 
     def test_dense_roundtrip(self, small_generated):
         self._roundtrip("FAISS", small_generated)
+
+    def test_learned_roundtrip(self, small_generated):
+        self._roundtrip("SMB", small_generated)
 
 
 class TestTunerProtocol:
