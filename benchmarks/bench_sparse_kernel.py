@@ -481,8 +481,9 @@ def speedup(
 
 #: Optional per-row metric fields (floats) that ride along with the core
 #: schema when present: the estimator bench (``bench_estimator.py``)
-#: records its q-error and pruned-fraction rows into the same file.
-OPTIONAL_METRICS = ("qerror", "pruned_frac")
+#: records its q-error and pruned-fraction rows, the serving bench
+#: (``bench_serving.py``) its throughput and latency quantiles.
+OPTIONAL_METRICS = ("qerror", "pruned_frac", "ops_per_s", "p50_ms", "p99_ms")
 
 
 def _normalize_row(row: Dict[str, object]) -> Dict[str, object]:

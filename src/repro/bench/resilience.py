@@ -179,6 +179,14 @@ def _alarm_watchdog(deadline: Deadline) -> Iterator[None]:
     ``time.sleep``, a long numpy call returns to the interpreter loop);
     cooperative stage-boundary checks remain the fallback where SIGALRM
     is unavailable (non-POSIX, worker threads).
+
+    Signal handlers can only be installed from the main thread —
+    serving/reader threads (:mod:`repro.core.serving`) run policy guards
+    too, so non-main-thread use must *degrade*, never raise.  The
+    :func:`_alarm_supported` pre-check catches the common case; the
+    ``except ValueError`` belt catches the race where the check passes
+    in an interpreter that still refuses the handler (subinterpreters,
+    exotic platforms), falling back to cooperative checks either way.
     """
     if not _alarm_supported():
         yield
@@ -191,7 +199,11 @@ def _alarm_watchdog(deadline: Deadline) -> Iterator[None]:
         )
 
     remaining = max(deadline.remaining(), 1e-6)
-    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    try:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+    except ValueError:  # pragma: no cover - main-thread check raced
+        yield
+        return
     signal.setitimer(signal.ITIMER_REAL, remaining)
     try:
         yield
@@ -458,7 +470,7 @@ def quarantine(path: Path) -> Optional[Path]:
 
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
-_ACTIONS = ("raise", "delay", "allocate")
+_ACTIONS = ("raise", "delay", "allocate", "crash")
 
 
 @dataclass
@@ -514,7 +526,7 @@ class FaultPlan:
 
 
 class FaultInjector:
-    """Fires scripted faults at stage boundaries — raise, delay, allocate.
+    """Scripted faults at stage boundaries — raise, delay, allocate, crash.
 
     The injector is a stage hook (see
     :func:`repro.core.stages.add_stage_hook`); :meth:`installed` scopes
@@ -568,6 +580,13 @@ class FaultInjector:
             # Held (not freed) so the RSS guard sees it at the next
             # boundary; release() drops the ballast.
             self._ballast.append(bytearray(mbytes << 20))
+            return
+        if plan.action == "crash":
+            # Hard-crash mode: die like kill -9 — no atexit, no finally
+            # blocks, no flushing.  This is how the durability tests kill
+            # a sacrificial serving process mid-WAL-append; never script
+            # it against a process you want back.
+            os._exit(int(plan.arg or "13"))
 
     # -- lifecycle -----------------------------------------------------
 

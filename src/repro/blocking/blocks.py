@@ -243,6 +243,25 @@ class IncrementalBlockIndex(IncrementalIndex):
         """Live slots of one blocking key, sorted (empty when absent)."""
         return tuple(sorted(self._members.get(key, ())))
 
+    def index_stats(self) -> Dict[str, object]:
+        stats = super().index_stats()
+        oversized = 0
+        if self.max_block_size is not None:
+            oversized = sum(
+                1
+                for members in self._members.values()
+                if len(members) > self.max_block_size
+            )
+        stats.update(
+            keys=len(self._members),
+            max_block=max(
+                (len(members) for members in self._members.values()),
+                default=0,
+            ),
+            suppressed_keys=oversized,
+        )
+        return stats
+
     def describe(self) -> str:
         builder = getattr(self.builder, "describe", lambda: "custom")()
         cap = f", b_max={self.max_block_size}" if self.max_block_size else ""

@@ -163,12 +163,69 @@ class IncrementalIndex(abc.ABC):
         ``k=...`` for the similarity joins).
         """
         with self.trace.stage(QUERY, input_size=1) as record:
-            slots = self._query(entity, **params)
-            result = tuple(
-                sorted(self._profile_of_slot[slot].uid for slot in slots)
-            )
+            result = self._query_result(entity, **params)
             record.output_size = len(result)
         return result
+
+    def query_many(
+        self, entities: Sequence[EntityProfile], **params: object
+    ) -> Tuple[Tuple[str, ...], ...]:
+        """Batched :meth:`query`: one result tuple per probe, in order.
+
+        Semantically identical to ``tuple(query(e) for e in entities)``
+        — the parity suite pins that — but routed through
+        :meth:`_query_many_results`, which index families override with
+        a genuinely batched path (ScanCount runs the whole probe batch
+        through the chunked CSR kernels).  The batch is traced as one
+        ``QUERY`` stage entry with the batch cardinalities.
+        """
+        entities = list(entities)
+        with self.trace.stage(QUERY, input_size=len(entities)) as record:
+            results = tuple(self._query_many_results(entities, **params))
+            record.output_size = sum(len(result) for result in results)
+        return results
+
+    def _query_result(
+        self, entity: EntityProfile, **params: object
+    ) -> Tuple[str, ...]:
+        """One untraced query: the sorted-uid result of :meth:`_query`.
+
+        The serving layer (:mod:`repro.core.serving`) calls this instead
+        of :meth:`query` so concurrent readers never touch the shared
+        (single-writer) :class:`StageTrace` stack.
+        """
+        slots = self._query(entity, **params)
+        return tuple(
+            sorted(self._profile_of_slot[slot].uid for slot in slots)
+        )
+
+    def _query_many_results(
+        self, entities: Sequence[EntityProfile], **params: object
+    ) -> List[Tuple[str, ...]]:
+        """Untraced batch hook behind :meth:`query_many` (overridable)."""
+        return [self._query_result(entity, **params) for entity in entities]
+
+    # ------------------------------------------------------------------
+    # Maintenance and health hooks (the serving layer's surface).
+    # ------------------------------------------------------------------
+
+    def compact(self) -> bool:
+        """Run the index's maintenance pass, if it has one.
+
+        Returns True when compaction did structural work, False when the
+        index has no deferred state (eager-removal families).  The
+        serving writer applies this to both buffers like any mutation,
+        so readers never observe an in-place rewrite.
+        """
+        return False
+
+    def index_stats(self) -> Dict[str, object]:
+        """Structural health counters for the serving ``health()`` surface.
+
+        Subclasses extend the base payload with family-specific gauges
+        (postings/tombstone counts, bucket occupancy, block sizes).
+        """
+        return {"live": len(self), "slots": self._next_slot}
 
     # ------------------------------------------------------------------
     # Index-specific hooks.
@@ -368,8 +425,10 @@ def replay_check(
                 missing = sorted(set(rebuilt) - set(streamed))
                 spurious = sorted(set(streamed) - set(rebuilt))
                 raise AssertionError(
-                    f"incremental/batch divergence at operation {position} "
-                    f"(query #{checked}, probe {operation.profile.uid!r}): "
+                    f"incremental/batch divergence at operation index "
+                    f"{position}/{len(operations)}: {operation!r} "
+                    f"(query #{checked}, probe {operation.profile.uid!r}, "
+                    f"{len(live)} live): "
                     f"missing={missing} spurious={spurious}"
                 )
             checked += 1

@@ -39,6 +39,7 @@ __all__ = [
     "baseline_codes",
     "build_estimator",
     "build_filter",
+    "build_serving",
     "check_consistency",
     "estimator_codes",
     "excluded_cells",
@@ -51,6 +52,7 @@ __all__ = [
     "method_codes",
     "parallel_codes",
     "register",
+    "serving_codes",
 ]
 
 #: The three method families of the paper (Problem 1, Section II).
@@ -146,6 +148,41 @@ class FilterSpec:
                 f"{self.code} has no incremental implementation"
             )
         return self.incremental_factory(dict(params or {}))
+
+    @property
+    def supports_serving(self) -> bool:
+        """True when the method can be wrapped by the serving layer.
+
+        Serving is defined for every incremental method: the
+        :class:`~repro.core.serving.ServingIndex` only needs the uniform
+        add/remove/query surface plus deterministic rebuilds, which the
+        incremental contract already guarantees.
+        """
+        return self.supports_incremental
+
+    def build_serving(
+        self,
+        params: Optional[Mapping[str, object]] = None,
+        **serving_kwargs,
+    ):
+        """The method behind a :class:`~repro.core.serving.ServingIndex`.
+
+        ``params`` configures the wrapped incremental index exactly as
+        :meth:`build_incremental` does; ``serving_kwargs`` (``directory``,
+        ``queue_limit``, ``checkpoint_every``, ...) pass through to the
+        serving constructor.  The factory handed over is re-invocable, so
+        the service can double-buffer and the chaos oracle can rebuild.
+        """
+        from .serving import ServingIndex
+
+        if self.incremental_factory is None:
+            raise ValueError(
+                f"{self.code} has no incremental implementation to serve"
+            )
+        frozen = dict(params or {})
+        return ServingIndex(
+            lambda: self.incremental_factory(dict(frozen)), **serving_kwargs
+        )
 
     @property
     def phase_names(self) -> Tuple[str, ...]:
@@ -261,6 +298,20 @@ def incremental_codes() -> Tuple[str, ...]:
     return tuple(s.code for s in all_specs() if s.supports_incremental)
 
 
+def serving_codes() -> Tuple[str, ...]:
+    """Codes of the methods the serving layer can wrap, in row order."""
+    return tuple(s.code for s in all_specs() if s.supports_serving)
+
+
+def build_serving(
+    code: str,
+    params: Optional[Mapping[str, object]] = None,
+    **serving_kwargs,
+):
+    """A :class:`~repro.core.serving.ServingIndex` over method ``code``."""
+    return get(code).build_serving(params, **serving_kwargs)
+
+
 def parallel_codes() -> Tuple[str, ...]:
     """Codes of the methods honouring ``workers=``, in row order."""
     return tuple(s.code for s in all_specs() if s.supports_workers)
@@ -355,6 +406,35 @@ def check_consistency() -> None:
                 raise AssertionError(
                     f"{spec.code}: differential smoke checked no queries"
                 )
+            from .profile import EntityProfile
+            from .serving import ServingIndex
+
+            service = spec.build_serving()
+            try:
+                if not isinstance(service, ServingIndex):
+                    raise AssertionError(
+                        f"{spec.code}: build_serving does not build a "
+                        "ServingIndex"
+                    )
+                probe = EntityProfile(
+                    uid="__serving_smoke__",
+                    attributes={"name": "serving smoke probe"},
+                )
+                service.add(probe)
+                answer = service.query(probe)
+                if probe.uid not in answer and answer != ():
+                    # Families may legitimately not self-match (e.g. a
+                    # capped block), but a wrong-type answer is a bug.
+                    raise AssertionError(
+                        f"{spec.code}: serving smoke returned {answer!r}"
+                    )
+                if service.health()["status"] != "ok":
+                    raise AssertionError(
+                        f"{spec.code}: serving smoke unhealthy: "
+                        f"{service.health()!r}"
+                    )
+            finally:
+                service.close()
         if spec.supports_estimation:
             for mode in ("bound", "estimate"):
                 estimator = spec.build_estimator(mode)

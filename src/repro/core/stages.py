@@ -38,6 +38,8 @@ __all__ = [
     "QUERY",
     "ADD",
     "REMOVE",
+    "WAL",
+    "PUBLISH",
     "FEATURES",
     "TRAIN",
     "SCORE",
@@ -45,10 +47,12 @@ __all__ = [
     "BLOCKING_STAGES",
     "NN_STAGES",
     "INCREMENTAL_STAGES",
+    "SERVING_STAGES",
     "LEARNED_STAGES",
     "add_stage_hook",
     "remove_stage_hook",
     "fire_stage_hooks",
+    "has_stage_hooks",
 ]
 
 
@@ -85,6 +89,15 @@ QUERY = Stage("query", "querying + candidate selection")
 ADD = Stage("add", "incremental insertion of one entity")
 REMOVE = Stage("remove", "incremental removal of one entity")
 
+#: Serving layer (:mod:`repro.core.serving`): durability and snapshot
+#: publication on top of the incremental schema.  The writer thread also
+#: fires synthetic boundaries (``wal/append``, ``wal/append#<seq>``,
+#: ``wal/fsync``, ``serving/publish``, ``serving/compact``,
+#: ``serving/checkpoint``) through :func:`fire_stage_hooks`, which is
+#: where the chaos suite injects its faults.
+WAL = Stage("wal", "write-ahead log append + fsync batching")
+PUBLISH = Stage("publish", "atomic snapshot publication (epoch swap)")
+
 #: Cost-based tuning (:mod:`repro.tuning.estimator`): cardinality
 #: estimation and grid pruning decisions, fired by the tuners *before*
 #: any filter executes.  Not part of a filter schema — it is a tuning
@@ -104,6 +117,7 @@ PRUNE = Stage("prune", "probability-threshold / top-k edge pruning")
 BLOCKING_STAGES: Tuple[Stage, ...] = (BUILD, PURGE, FILTER, CLEAN)
 NN_STAGES: Tuple[Stage, ...] = (PREPROCESS, INDEX, QUERY)
 INCREMENTAL_STAGES: Tuple[Stage, ...] = (ADD, REMOVE, QUERY)
+SERVING_STAGES: Tuple[Stage, ...] = (ADD, REMOVE, QUERY, WAL, PUBLISH)
 LEARNED_STAGES: Tuple[Stage, ...] = (BUILD, FEATURES, TRAIN, SCORE, PRUNE)
 
 StageLike = Union[Stage, str]
@@ -139,6 +153,16 @@ def remove_stage_hook(hook) -> None:
         _STAGE_HOOKS.remove(hook)
     except ValueError:
         pass
+
+
+def has_stage_hooks() -> bool:
+    """True when at least one stage hook is installed.
+
+    Cheap pre-check for callers that only fire synthetic boundaries (and
+    pay extra work around them, like the WAL's mid-record flush for the
+    torn-write chaos tests) when someone is actually listening.
+    """
+    return bool(_STAGE_HOOKS)
 
 
 def fire_stage_hooks(event: str, name: str) -> None:

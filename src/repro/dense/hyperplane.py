@@ -243,6 +243,21 @@ class IncrementalHyperplaneLSH(IncrementalIndex):
                 matches.update(buckets.get(key, ()))
         return matches
 
+    def index_stats(self) -> Dict[str, object]:
+        stats = super().index_stats()
+        stats.update(
+            buckets=sum(len(table) for table in self._buckets),
+            max_bucket=max(
+                (
+                    len(bucket)
+                    for table in self._buckets
+                    for bucket in table.values()
+                ),
+                default=0,
+            ),
+        )
+        return stats
+
     def describe(self) -> str:
         return (
             f"{self.name}(L={self.tables}, h={self.hashes}, "

@@ -248,5 +248,15 @@ class IncrementalMinHashLSH(IncrementalIndex):
             matches.update(self._buckets.get(key, ()))
         return matches
 
+    def index_stats(self) -> Dict[str, object]:
+        stats = super().index_stats()
+        stats.update(
+            buckets=len(self._buckets),
+            max_bucket=max(
+                (len(bucket) for bucket in self._buckets.values()), default=0
+            ),
+        )
+        return stats
+
     def describe(self) -> str:
         return self._lsh.describe().replace(self._lsh.name, self.name, 1)

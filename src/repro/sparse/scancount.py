@@ -455,6 +455,80 @@ class DynamicPostings:
         slots, overlaps, __ = self.overlap_arrays(query)
         return dict(zip(slots.tolist(), overlaps.tolist()))
 
+    def batch_overlap_arrays(
+        self, queries: Sequence[FrozenSet[str]]
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-query :meth:`overlap_arrays`, batched through the CSR kernels.
+
+        The snapshot contribution of the *whole* probe batch runs as one
+        :meth:`ScanCountIndex.batch_overlaps` call (the chunked
+        ``materialize`` kernel of :mod:`repro.sparse.kernels`), so the
+        per-query Python overhead collapses to the delta merge and the
+        liveness mask.  Row-for-row equal to calling
+        :meth:`overlap_arrays` per query.
+        """
+        empty = np.zeros(0, dtype=np.int64)
+        results: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        live_slots, live_sizes = self._live_index()
+        if len(live_slots) == 0:
+            return [(empty, empty, empty) for __ in queries]
+        if self._csr is not None and len(self._csr):
+            query_ptr, set_ids, csr_counts = self._csr.batch_overlaps(
+                list(queries)
+            )
+        else:
+            query_ptr = np.zeros(len(queries) + 1, dtype=np.int64)
+            set_ids = csr_counts = empty
+        for position, query in enumerate(queries):
+            slot_parts: List[np.ndarray] = []
+            count_parts: List[np.ndarray] = []
+            lo, hi = int(query_ptr[position]), int(query_ptr[position + 1])
+            if hi > lo:
+                slot_parts.append(self._csr_slots[set_ids[lo:hi]])
+                count_parts.append(csr_counts[lo:hi])
+            delta = self._delta
+            delta_lists = [
+                delta[token] for token in query if token in delta
+            ]
+            if delta_lists:
+                if len(delta_lists) == 1:
+                    merged = np.asarray(delta_lists[0], dtype=np.int64)
+                else:
+                    merged = np.concatenate(
+                        [
+                            np.asarray(posting, dtype=np.int64)
+                            for posting in delta_lists
+                        ]
+                    )
+                delta_slots, delta_counts = np.unique(
+                    merged, return_counts=True
+                )
+                slot_parts.append(delta_slots)
+                count_parts.append(delta_counts.astype(np.int64))
+            if not slot_parts:
+                results.append((empty, empty, empty))
+                continue
+            slots = np.concatenate(slot_parts)
+            overlaps = np.concatenate(count_parts)
+            positions = np.searchsorted(live_slots, slots)
+            positions = np.minimum(positions, len(live_slots) - 1)
+            alive = live_slots[positions] == slots
+            positions = positions[alive]
+            results.append(
+                (slots[alive], overlaps[alive], live_sizes[positions])
+            )
+        return results
+
+    def stats(self) -> Dict[str, int]:
+        """Structural gauges: live/delta/dead postings and compactions."""
+        return {
+            "live_postings": self._live_postings,
+            "delta_postings": self._delta_postings,
+            "dead_postings": self._dead_postings,
+            "compactions": self.compactions,
+            "csr_sets": len(self._csr) if self._csr is not None else 0,
+        }
+
     # ------------------------------------------------------------------
     # Lazy compaction.
     # ------------------------------------------------------------------
@@ -537,21 +611,28 @@ class IncrementalScanCountFilter(IncrementalIndex):
     def _remove(self, slot: int, profile: EntityProfile) -> None:
         self._postings.remove(slot)
 
-    def _query(
-        self,
-        profile: EntityProfile,
-        eps: Optional[float] = None,
-        k: Optional[int] = None,
-    ) -> Iterable[int]:
+    def _mode(
+        self, eps: Optional[float], k: Optional[int]
+    ) -> Tuple[Optional[float], Optional[int]]:
         if eps is not None and k is not None:
             raise ValueError("pass at most one of eps / k per query")
         if eps is None and k is None:
-            eps, k = self.threshold, self.k
-        tokens = self._tokens(profile)
-        slots, overlaps, sizes = self._postings.overlap_arrays(tokens)
+            return self.threshold, self.k
+        return eps, k
+
+    def _select(
+        self,
+        query_size: int,
+        slots: np.ndarray,
+        overlaps: np.ndarray,
+        sizes: np.ndarray,
+        eps: Optional[float],
+        k: Optional[int],
+    ) -> List[int]:
+        """Apply the ε / kNN selection rule to one query's overlap rows."""
         if len(slots) == 0:
-            return ()
-        query_sizes = np.full(len(slots), len(tokens), dtype=np.int64)
+            return []
+        query_sizes = np.full(len(slots), query_size, dtype=np.int64)
         similarities = self.vector_measure(sizes, query_sizes, overlaps)
         if eps is not None:
             keep = similarities >= float(eps)
@@ -562,6 +643,56 @@ class IncrementalScanCountFilter(IncrementalIndex):
             cutoff = distinct[max(0, len(distinct) - int(k))]
             keep = similarities >= cutoff
         return slots[keep].tolist()
+
+    def _query(
+        self,
+        profile: EntityProfile,
+        eps: Optional[float] = None,
+        k: Optional[int] = None,
+    ) -> Iterable[int]:
+        eps, k = self._mode(eps, k)
+        tokens = self._tokens(profile)
+        slots, overlaps, sizes = self._postings.overlap_arrays(tokens)
+        return self._select(len(tokens), slots, overlaps, sizes, eps, k)
+
+    def _query_many_results(
+        self,
+        entities: Sequence[EntityProfile],
+        eps: Optional[float] = None,
+        k: Optional[int] = None,
+    ) -> List[Tuple[str, ...]]:
+        """Batched query path: one chunked-CSR kernel pass for the batch.
+
+        Parity with per-call :meth:`_query` is pinned by the test suite;
+        the speedup comes from amortizing the snapshot scan
+        (:meth:`DynamicPostings.batch_overlap_arrays`) over the batch.
+        """
+        eps, k = self._mode(eps, k)
+        token_sets = [self._tokens(profile) for profile in entities]
+        per_query = self._postings.batch_overlap_arrays(token_sets)
+        results: List[Tuple[str, ...]] = []
+        for tokens, (slots, overlaps, sizes) in zip(token_sets, per_query):
+            selected = self._select(
+                len(tokens), slots, overlaps, sizes, eps, k
+            )
+            results.append(
+                tuple(
+                    sorted(
+                        self._profile_of_slot[slot].uid for slot in selected
+                    )
+                )
+            )
+        return results
+
+    def compact(self) -> bool:
+        """Force a postings compaction (CSR snapshot rebuild)."""
+        self._postings.compact()
+        return True
+
+    def index_stats(self) -> Dict[str, object]:
+        stats = super().index_stats()
+        stats.update(self._postings.stats())
+        return stats
 
     def describe(self) -> str:
         mode = (

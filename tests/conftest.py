@@ -10,6 +10,28 @@ from repro.datasets.generator import DatasetSpec, ERDataset, generate
 from repro.datasets.noise import NoiseProfile
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _env_fault_injector():
+    """Honour ``REPRO_FAULT_INJECT`` for the whole pytest session.
+
+    CI runs slices of the suite under scripted faults (e.g. a delay at
+    ``serving/publish``); with no spec in the environment this is a
+    no-op.  The injector stays installed for the session so its
+    deterministic fire counters span all tests in the invocation.
+    """
+    from repro.bench.resilience import FaultInjector
+
+    injector = FaultInjector.from_env()
+    if injector is None:
+        yield
+        return
+    injector.install()
+    try:
+        yield
+    finally:
+        injector.uninstall()
+
+
 @pytest.fixture()
 def left_collection() -> EntityCollection:
     """Four product-like profiles for E1."""

@@ -449,3 +449,92 @@ class TestRegistryCapability:
         assert knn.k == 9
         blocks = registry.get("QBW").build_incremental({"q": 4})
         assert blocks.builder.q == 4
+
+
+# ----------------------------------------------------------------------
+# Satellite: query_many parity — the batched read path answers exactly
+# like per-probe query(), across all families and through the chunked
+# CSR kernels for ScanCount.
+# ----------------------------------------------------------------------
+
+
+class TestQueryManyParity:
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_query_many_matches_sequential_queries(self, name):
+        for case in range(10):
+            pool = _smoke_pool(12, seed=500 + case)
+            index = FAMILIES[name]()
+            for profile in pool[:8]:
+                index.add(profile)
+            probes = pool  # live and never-seen probes alike
+            batched = index.query_many(probes)
+            assert batched == tuple(index.query(p) for p in probes)
+
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_query_many_after_churn(self, name):
+        pool = _smoke_pool(14, seed=61)
+        rng = np.random.default_rng(62)
+        index = FAMILIES[name]()
+        for op in random_operations(pool, rng, 120, add_weight=0.45,
+                                    remove_weight=0.3):
+            if op.kind == "add":
+                index.add(op.profile)
+            elif op.kind == "remove":
+                index.remove(op.uid)
+        batched = index.query_many(pool)
+        assert batched == tuple(index.query(p) for p in pool)
+
+    def test_query_many_empty_batch(self):
+        index = FAMILIES["scancount-eps"]()
+        assert index.query_many([]) == ()
+
+    def test_scancount_query_many_crosses_csr_kernels(self):
+        # Force a compaction so the postings hold a materialized CSR
+        # snapshot plus deltas: the batch path must merge both.
+        index = IncrementalScanCountFilter(threshold=0.3, compaction_ratio=0.1)
+        pool = _smoke_pool(14, seed=63)
+        rng = np.random.default_rng(64)
+        for op in random_operations(pool, rng, 160, add_weight=0.4,
+                                    remove_weight=0.35):
+            if op.kind == "add":
+                index.add(op.profile)
+            elif op.kind == "remove":
+                index.remove(op.uid)
+        for profile in pool:
+            if profile.uid not in index:
+                index.add(profile)
+        assert index._postings.compactions > 0
+        assert index._postings._csr is not None
+        assert index.query_many(pool) == tuple(index.query(p) for p in pool)
+
+    def test_scancount_query_many_honours_overrides(self):
+        index = IncrementalScanCountFilter(threshold=0.3)
+        pool = _smoke_pool(10, seed=65)
+        for profile in pool[:7]:
+            index.add(profile)
+        assert index.query_many(pool, eps=0.6) == tuple(
+            index.query(p, eps=0.6) for p in pool
+        )
+        assert index.query_many(pool, k=2) == tuple(
+            index.query(p, k=2) for p in pool
+        )
+        with pytest.raises(ValueError):
+            index.query_many(pool, eps=0.5, k=2)
+
+    def test_scancount_batch_overlap_arrays_matches_scalar(self):
+        index = IncrementalScanCountFilter(threshold=0.2, compaction_ratio=0.1)
+        pool = _smoke_pool(12, seed=66)
+        for profile in pool[:9]:
+            index.add(profile)
+        index.remove(pool[2].uid)
+        index._postings.compact()
+        index.add(pool[10])  # delta on top of the CSR snapshot
+        token_sets = [index._tokens(p) for p in pool]
+        batched = index._postings.batch_overlap_arrays(token_sets)
+        for tokens, (slots, overlaps, sizes) in zip(token_sets, batched):
+            s_slots, s_overlaps, s_sizes = index._postings.overlap_arrays(
+                tokens
+            )
+            np.testing.assert_array_equal(slots, s_slots)
+            np.testing.assert_array_equal(overlaps, s_overlaps)
+            np.testing.assert_array_equal(sizes, s_sizes)

@@ -7,13 +7,18 @@ Covers the guarantees of ``repro.bench.resilience`` end to end:
 * the failure taxonomy degrading cells to "-" instead of aborting runs;
 * atomic cache writes, corruption quarantine + prefix salvage, tolerant
   schema loading, and batched saves;
-* the deterministic fault injector (raise / delay / allocate).
+* the deterministic fault injector (raise / delay / allocate / crash).
 """
 
 import json
 import os
 import signal
+import subprocess
+import sys
+import textwrap
+import threading
 import time
+from pathlib import Path
 
 import pytest
 
@@ -244,6 +249,56 @@ class TestDeadline:
         previous = signal.getsignal(signal.SIGALRM)
         run_guarded(lambda: None, ExecutionPolicy(timeout=5.0))
         assert signal.getsignal(signal.SIGALRM) is previous
+
+    def test_run_guarded_times_out_from_worker_thread(self):
+        """Satellite regression: guards must work off the main thread.
+
+        SIGALRM handlers can only be installed from the main thread; a
+        serving/reader thread running a guarded cell must degrade to
+        cooperative stage-boundary checks instead of crashing with
+        ``ValueError: signal only works in main thread``.
+        """
+
+        def looping():
+            trace = StageTrace()
+            for _ in range(10_000):
+                with trace.stage("query"):
+                    time.sleep(0.005)
+
+        outcomes = []
+
+        def worker():
+            outcomes.append(run_guarded(looping, ExecutionPolicy(timeout=0.05)))
+
+        thread = threading.Thread(target=worker)
+        start = time.monotonic()
+        thread.start()
+        thread.join(timeout=30.0)
+        elapsed = time.monotonic() - start
+        assert not thread.is_alive()
+        assert len(outcomes) == 1
+        # The cooperative fallback cut the loop off; no signal error.
+        assert outcomes[0].status == CellStatus.TIMEOUT
+        assert "signal" not in outcomes[0].error.lower()
+        assert elapsed < 5.0
+
+    def test_alarm_watchdog_noop_off_main_thread(self):
+        """The watchdog context itself must be inert in worker threads."""
+        errors = []
+
+        def worker():
+            try:
+                with resilience._alarm_watchdog(Deadline(0.01)):
+                    time.sleep(0.05)  # longer than the deadline
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join(timeout=10.0)
+        # No SIGALRM fired, no ValueError from signal.signal: the sleep
+        # ran to completion and cooperative checks are the caller's job.
+        assert errors == []
 
     def test_deadline_spans_retries(self):
         """Backoff pauses draw from the same cell budget."""
@@ -519,6 +574,42 @@ class TestFaultInjector:
             stages.fire_stage_hooks("enter", "index")
             assert sum(len(b) for b in injector._ballast) == 4 << 20
         assert injector._ballast == []
+
+    def test_crash_spec_parses(self):
+        plan = FaultPlan.parse("crash:wal/append#6:13")
+        assert plan.action == "crash"
+        assert plan.stage == "wal/append#6"
+        assert plan.arg == "13"
+
+    def test_crash_hard_kills_the_process(self, tmp_path):
+        # The crash action is os._exit — no atexit, no finally blocks —
+        # so it can only be observed from a sacrificial subprocess.
+        script = tmp_path / "victim.py"
+        script.write_text(textwrap.dedent(
+            """
+            from repro.bench.resilience import FaultInjector
+            from repro.core import stages
+
+            FaultInjector.from_env().install()
+            print("before", flush=True)
+            try:
+                stages.fire_stage_hooks("enter", "doomed")
+            finally:
+                print("after", flush=True)  # must NOT run: hard crash
+            """
+        ))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            Path(__file__).resolve().parent.parent / "src"
+        )
+        env["REPRO_FAULT_INJECT"] = "crash:doomed:42"
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 42
+        assert "before" in proc.stdout
+        assert "after" not in proc.stdout
 
     def test_determinism_counters_not_randomness(self):
         """Same plans, same boundaries -> identical fault sequence."""

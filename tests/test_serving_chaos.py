@@ -1,0 +1,380 @@
+"""Chaos suite: concurrent serving under injected faults and crashes.
+
+The acceptance bar of the serving layer.  Three escalating levels:
+
+* **Concurrent differential replay** — per incremental family, 200
+  seeded random mutation sequences are admitted through a
+  :class:`~repro.core.serving.ServingIndex` while reader threads query
+  concurrently; every recorded answer is byte-identical (fastpairs keys)
+  to a from-scratch rebuild of exactly the mutation prefix the pinned
+  snapshot had applied.
+* **Faulted replay** — the same oracle holds while a
+  :class:`~repro.bench.resilience.FaultInjector` drives transient
+  raises, delays and allocation ballast into the writer's stage
+  boundaries (the writer retries through them).
+* **Crash recovery** — a sacrificial subprocess is hard-killed
+  (``os._exit``) mid-WAL-append / mid-fsync / mid-publish; the parent
+  restarts the service from the surviving bytes and asserts recovery is
+  byte-identical to the acknowledged history.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.bench.resilience import FaultInjector
+from repro.core.incremental import _smoke_pool, random_operations
+from repro.core.serving import ServingIndex, WriteAheadLog, chaos_replay_check
+from repro.dense import (
+    HashedNGramEmbedder,
+    IncrementalHyperplaneLSH,
+    IncrementalMinHashLSH,
+)
+from repro.blocking import IncrementalBlockIndex, StandardBlocking
+from repro.sparse import IncrementalScanCountFilter
+
+# Same family configurations as the batch-vs-stream parity suite, so the
+# two oracles pin the same implementations.
+FAMILIES = {
+    "scancount-eps": lambda: IncrementalScanCountFilter(
+        threshold=0.3, model="T1G", measure="cosine"
+    ),
+    "scancount-knn": lambda: IncrementalScanCountFilter(
+        k=3, model="T1G", measure="cosine"
+    ),
+    "minhash-lsh": lambda: IncrementalMinHashLSH(
+        bands=8, rows=2, shingle_k=2, seed=3
+    ),
+    "hyperplane-lsh": lambda: IncrementalHyperplaneLSH(
+        tables=2, hashes=6, seed=3, embedder=HashedNGramEmbedder(dim=32)
+    ),
+    "blocks": lambda: IncrementalBlockIndex(builder=StandardBlocking()),
+}
+
+FAMILY_NAMES = tuple(FAMILIES)
+
+#: Acceptance floor: concurrent randomized sequences per family.
+SEQUENCE_CASES = 200
+
+
+# ----------------------------------------------------------------------
+# Level 1: concurrent differential replay, no faults.
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentReplay:
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_concurrent_sequences_match_rebuild_oracle(self, name):
+        factory = FAMILIES[name]
+        checked = 0
+        for case in range(SEQUENCE_CASES):
+            pool = _smoke_pool(8, seed=case)
+            rng = np.random.default_rng(40_000 + case)
+            operations = random_operations(pool, rng, 14)
+            checked += chaos_replay_check(
+                factory,
+                operations,
+                readers=2,
+                queries_per_reader=2,
+                compact_every=6 if case % 3 == 0 else None,
+                serving_kwargs={"batch_limit": 3},
+                seed=case,
+            )
+        # Far more checks than sequences: every sequence ends with a
+        # full query_many sweep on top of the concurrent reads.
+        assert checked >= SEQUENCE_CASES
+
+    @pytest.mark.parametrize("name", FAMILY_NAMES)
+    def test_churn_with_many_readers(self, name):
+        # One long removal-heavy stream under a wider reader pool.
+        factory = FAMILIES[name]
+        pool = _smoke_pool(14, seed=91)
+        rng = np.random.default_rng(92)
+        operations = random_operations(
+            pool, rng, 120, add_weight=0.4, remove_weight=0.35
+        )
+        checked = chaos_replay_check(
+            factory,
+            operations,
+            readers=4,
+            queries_per_reader=8,
+            compact_every=25,
+            serving_kwargs={"batch_limit": 5},
+            seed=93,
+        )
+        assert checked >= 14  # at least the final full sweep
+
+    def test_durable_concurrent_replay(self, tmp_path):
+        # The WAL path (append + group fsync per batch) under the same
+        # concurrent oracle: durability must not perturb answers.
+        factory = FAMILIES["scancount-eps"]
+        pool = _smoke_pool(10, seed=7)
+        rng = np.random.default_rng(8)
+        operations = random_operations(pool, rng, 40)
+        checked = chaos_replay_check(
+            factory,
+            operations,
+            readers=2,
+            queries_per_reader=4,
+            serving_kwargs={
+                "directory": tmp_path,
+                "batch_limit": 4,
+                "checkpoint_every": 10,
+            },
+            seed=9,
+        )
+        assert checked > 0
+        # And the directory restarts into the same final state.
+        oracle = factory()
+        live = {}
+        for op in operations:
+            if op.kind == "add":
+                live[op.profile.uid] = op.profile
+            elif op.kind == "remove":
+                live.pop(op.uid, None)
+        for profile in live.values():
+            oracle.add(profile)
+        with ServingIndex(factory, directory=tmp_path) as recovered:
+            for probe in pool:
+                assert recovered.query(probe) == oracle.query(probe)
+
+
+# ----------------------------------------------------------------------
+# Level 2: the same oracle with faults injected into the writer.
+# ----------------------------------------------------------------------
+
+
+FAULT_SCENARIOS = {
+    "transient-raises": "raise:add:RuntimeError:2;raise:remove:RuntimeError:1",
+    "publish-delays": "delay:serving/publish:0.01:3",
+    "fsync-delay": "delay:wal/fsync:0.01:2",
+    "memory-ballast": "allocate:serving/publish:1:2",
+}
+
+
+class TestFaultedReplay:
+    @pytest.mark.parametrize("scenario", sorted(FAULT_SCENARIOS))
+    @pytest.mark.parametrize("name", ("scancount-eps", "minhash-lsh"))
+    def test_faulted_sequences_stay_byte_identical(
+        self, name, scenario, tmp_path
+    ):
+        factory = FAMILIES[name]
+        spec = FAULT_SCENARIOS[scenario]
+        serving_kwargs = {
+            "batch_limit": 2,
+            "transient_errors": (RuntimeError, MemoryError),
+            "max_retries": 4,
+            "backoff": 0.001,
+        }
+        if "wal" in spec:
+            serving_kwargs["directory"] = tmp_path
+        for case in range(5):
+            pool = _smoke_pool(8, seed=200 + case)
+            rng = np.random.default_rng(60_000 + case)
+            operations = random_operations(pool, rng, 16)
+            injector = FaultInjector.from_spec(spec)
+            if "directory" in serving_kwargs:
+                serving_kwargs["directory"] = tmp_path / f"case{case}"
+            with injector.installed():
+                checked = chaos_replay_check(
+                    factory,
+                    operations,
+                    readers=2,
+                    queries_per_reader=2,
+                    serving_kwargs=serving_kwargs,
+                    seed=case,
+                )
+            assert checked > 0
+
+    def test_retry_exhaustion_degrades_cleanly(self):
+        # An unbounded fault storm wedges the writer; the service must
+        # degrade (refuse mutations, keep serving reads), not corrupt.
+        factory = FAMILIES["scancount-eps"]
+        pool = _smoke_pool(6, seed=3)
+        service = ServingIndex(
+            factory,
+            transient_errors=(RuntimeError,),
+            max_retries=1,
+            backoff=0.001,
+        )
+        service.add(pool[0])
+        expected = service.query(pool[0])
+        injector = FaultInjector.from_spec("raise:add:RuntimeError:50")
+        with injector.installed():
+            with pytest.raises(Exception):
+                service.add(pool[1])
+        assert service.health()["status"] == "degraded"
+        assert service.query(pool[0]) == expected
+        service.close()
+
+
+# ----------------------------------------------------------------------
+# Level 3: hard-crash a sacrificial serving process, recover, compare.
+# ----------------------------------------------------------------------
+
+_CHILD_SCRIPT = textwrap.dedent(
+    """
+    import sys
+
+    from repro.bench.resilience import FaultInjector
+    from repro.core.incremental import _smoke_pool
+    from repro.core.serving import ServingIndex
+
+    from repro.sparse import IncrementalScanCountFilter
+
+    directory = sys.argv[1]
+    checkpoint_every = int(sys.argv[2])
+
+    injector = FaultInjector.from_env()
+    if injector is not None:
+        injector.install()
+
+    factory = lambda: IncrementalScanCountFilter(threshold=0.3)
+    pool = _smoke_pool(10, seed=31)
+    service = ServingIndex(
+        factory,
+        directory=directory,
+        batch_limit=1,
+        checkpoint_every=checkpoint_every or None,
+    )
+    for profile in pool:
+        service.add(profile)          # blocks until durable + visible
+        print(f"acked {profile.uid}", flush=True)
+    print("survived", flush=True)     # only without a crash plan
+    service.close()
+    """
+)
+
+
+def _run_child(tmp_path, fault_spec, checkpoint_every=0):
+    directory = tmp_path / "state"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parent.parent / "src")
+    if fault_spec:
+        env["REPRO_FAULT_INJECT"] = fault_spec
+    else:
+        env.pop("REPRO_FAULT_INJECT", None)
+    script = tmp_path / "child.py"
+    script.write_text(_CHILD_SCRIPT)
+    proc = subprocess.run(
+        [sys.executable, str(script), str(directory), str(checkpoint_every)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    acked = [
+        line.split(" ", 1)[1]
+        for line in proc.stdout.splitlines()
+        if line.startswith("acked ")
+    ]
+    return proc, directory, acked
+
+
+def _scancount_factory():
+    return IncrementalScanCountFilter(threshold=0.3)
+
+
+class TestCrashRecovery:
+    def test_crash_mid_wal_append_recovers_acked_history(self, tmp_path):
+        # Kill the process halfway through appending record seq 6: the
+        # line is genuinely torn on disk.  Everything acknowledged
+        # before the crash must survive; the torn record must not.
+        proc, directory, acked = _run_child(
+            tmp_path, "crash:wal/append#6:13"
+        )
+        assert proc.returncode == 13
+        assert "survived" not in proc.stdout
+        assert len(acked) == 5  # seqs 1..5 acked, 6 torn
+
+        records, clean = WriteAheadLog.replay(directory / "wal.jsonl")
+        assert [r["uid"] for r in records] == acked
+        # The file really is torn: raw bytes extend past the clean prefix.
+        assert clean < (directory / "wal.jsonl").stat().st_size
+
+        pool = _smoke_pool(10, seed=31)
+        oracle = _scancount_factory()
+        for profile in pool:
+            if profile.uid in acked:
+                oracle.add(profile)
+        with ServingIndex(_scancount_factory, directory=directory) as svc:
+            assert sorted(p.uid for p in svc.catalog()) == sorted(acked)
+            for probe in pool:
+                assert svc.query(probe) == oracle.query(probe)
+            # The service is fully writable again after recovery.
+            missing = [p for p in pool if p.uid not in acked]
+            svc.add(missing[0])
+            assert missing[0].uid in svc
+
+    def test_crash_mid_fsync_recovers_prefix(self, tmp_path):
+        # Crash inside fsync: the batch's line is fully written but the
+        # op was never acknowledged.  Recovery may keep it (durable
+        # bytes) — it must simply equal *some* clean prefix of the
+        # submission order, and answer like its rebuild.
+        proc, directory, acked = _run_child(tmp_path, "crash:wal/fsync:7:4")
+        assert proc.returncode == 7
+        records, __ = WriteAheadLog.replay(directory / "wal.jsonl")
+        survived = [r["uid"] for r in records]
+        pool = _smoke_pool(10, seed=31)
+        order = [p.uid for p in pool]
+        assert survived == order[: len(survived)]
+        assert set(acked).issubset(set(survived))
+        oracle = _scancount_factory()
+        for profile in pool:
+            if profile.uid in survived:
+                oracle.add(profile)
+        with ServingIndex(_scancount_factory, directory=directory) as svc:
+            for probe in pool:
+                assert svc.query(probe) == oracle.query(probe)
+
+    def test_crash_mid_publish_never_loses_durable_ops(self, tmp_path):
+        # Crash between fsync and publish: the op is durable but not
+        # acked.  Recovery must replay it — ack is a *visibility*
+        # promise, durability happens strictly earlier.
+        proc, directory, acked = _run_child(
+            tmp_path, "crash:serving/publish:11:5"
+        )
+        assert proc.returncode == 11
+        records, __ = WriteAheadLog.replay(directory / "wal.jsonl")
+        survived = [r["uid"] for r in records]
+        assert len(survived) >= len(acked)
+        assert set(acked).issubset(set(survived))
+        with ServingIndex(_scancount_factory, directory=directory) as svc:
+            assert sorted(p.uid for p in svc.catalog()) == sorted(survived)
+
+    def test_crash_after_checkpoint_merges_checkpoint_and_wal(self, tmp_path):
+        # With checkpoints every 3 ops, a crash at seq 8 recovers from
+        # checkpoint + WAL suffix; the merge must be seamless.
+        proc, directory, acked = _run_child(
+            tmp_path, "crash:wal/append#8:13", checkpoint_every=3
+        )
+        assert proc.returncode == 13
+        assert len(acked) == 7
+        assert (directory / "checkpoint.json").exists()
+        checkpoint = json.loads((directory / "checkpoint.json").read_text())
+        assert checkpoint["seq"] >= 3
+        pool = _smoke_pool(10, seed=31)
+        oracle = _scancount_factory()
+        for profile in pool:
+            if profile.uid in acked:
+                oracle.add(profile)
+        with ServingIndex(_scancount_factory, directory=directory) as svc:
+            assert sorted(p.uid for p in svc.catalog()) == sorted(acked)
+            for probe in pool:
+                assert svc.query(probe) == oracle.query(probe)
+
+    def test_no_fault_control_run(self, tmp_path):
+        # The sacrificial harness itself is sound: without a fault plan
+        # the child survives and every op lands.
+        proc, directory, acked = _run_child(tmp_path, "")
+        assert proc.returncode == 0, proc.stderr
+        assert "survived" in proc.stdout
+        assert len(acked) == 10
+        with ServingIndex(_scancount_factory, directory=directory) as svc:
+            assert len(svc) == 10
